@@ -1,0 +1,46 @@
+// Ablation: prefetch depth. The paper's prototype "prefetches only one
+// block"; this bench measures what deeper pipelines would have bought
+// (future-work territory for the paper, a design knob here).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppfs;
+  using namespace ppfs::bench;
+
+  banner("Ablation: prefetch depth (paper prototype = 1)",
+         "Sec. 3 'prefetches only one block' + Sec. 5 future work",
+         "with compute delays, depth 1 captures most of the win when delay "
+         ">= read time; deeper pipelines help when delay is a fraction of "
+         "the read time (several reads can progress during one delay)");
+
+  Experiment exp{MachineSpec{}};
+  const int n = exp.machine_spec().ncompute;
+  const sim::ByteCount req = 256 * 1024;
+  const std::vector<std::size_t> depths = {0, 1, 2, 4, 8};
+  const std::vector<double> delays = {0.0, 0.01, 0.05, 0.1};
+
+  TextTable table({"depth", "delay=0s", "delay=0.01s", "delay=0.05s", "delay=0.1s"});
+  for (auto depth : depths) {
+    std::vector<std::string> row = {depth == 0 ? "off" : std::to_string(depth)};
+    for (double d : delays) {
+      WorkloadSpec w;
+      w.mode = pfs::IoMode::kRecord;
+      w.request_size = req;
+      w.file_size = file_size_for(req, n, 8);
+      w.compute_delay = d;
+      if (depth > 0) {
+        w.prefetch = true;
+        w.prefetch_cfg.depth = depth;
+      }
+      const auto r = exp.run(w);
+      row.push_back(fmt_double(r.observed_read_bw_mbs, 2));
+      std::cout << "." << std::flush;
+    }
+    table.add_row(row);
+  }
+  std::cout << "\n\nObserved read bandwidth (MB/s), 256KB requests, M_RECORD:\n\n"
+            << table.str() << std::endl;
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: sensitivity to the prefetch-buffer copy cost. The paper's
+// Table 1/3 penalty for small requests comes from staging data in the
+// prefetch buffer and copying it to the user buffer; this bench varies the
+// compute node's memory-copy bandwidth to show how the penalty (and the
+// balanced-workload win) depend on it.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppfs;
+  using namespace ppfs::bench;
+
+  banner("Ablation: prefetch-copy overhead sensitivity",
+         "Sec. 4.1 ('prefetching overhead is more pronounced when the "
+         "request sizes are smaller')",
+         "slower copies widen the no-delay penalty; with compute delay the "
+         "copy hides less of the win but never erases it");
+
+  const sim::ByteCount req = 64 * 1024;
+  const std::vector<double> copy_bw = {10e6, 20e6, 40e6, 80e6, 160e6};
+
+  TextTable table({"copy B/W (MB/s)", "no-delay: off (MB/s)", "no-delay: on (MB/s)",
+                   "penalty", "0.05s delay: on (MB/s)", "speedup vs off"});
+  for (double bw : copy_bw) {
+    MachineSpec m;
+    m.compute_cpu.mem_copy_bandwidth = bw;
+    Experiment exp{m};
+    WorkloadSpec w;
+    w.mode = pfs::IoMode::kRecord;
+    w.request_size = req;
+    w.file_size = file_size_for(req, m.ncompute, 8);
+
+    auto pf = w;
+    pf.prefetch = true;
+    const auto off0 = exp.run(w);
+    const auto on0 = exp.run(pf);
+
+    auto wd = w;
+    wd.compute_delay = 0.05;
+    auto pfd = wd;
+    pfd.prefetch = true;
+    const auto offd = exp.run(wd);
+    const auto ond = exp.run(pfd);
+
+    table.add_row({fmt_double(bw / 1e6, 0), fmt_double(off0.observed_read_bw_mbs, 2),
+                   fmt_double(on0.observed_read_bw_mbs, 2),
+                   fmt_percent(1.0 - on0.observed_read_bw_mbs / off0.observed_read_bw_mbs),
+                   fmt_double(ond.observed_read_bw_mbs, 2),
+                   fmt_double(ond.observed_read_bw_mbs / offd.observed_read_bw_mbs, 2)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n64KB requests, M_RECORD:\n\n" << table.str() << std::endl;
+  return 0;
+}

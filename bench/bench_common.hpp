@@ -1,0 +1,46 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.hpp"
+#include "workload/report.hpp"
+
+namespace ppfs::bench {
+
+using workload::Experiment;
+using workload::ExperimentResult;
+using workload::MachineSpec;
+using workload::TextTable;
+using workload::WorkloadSpec;
+using workload::fmt_bytes;
+using workload::fmt_double;
+using workload::fmt_percent;
+using workload::fmt_time;
+
+inline void banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "=============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Machine: 8 compute + 8 I/O nodes, SCSI-8 RAID per I/O node,\n"
+            << "         64KB file system blocks (simulated Paragon)\n"
+            << "Expected shape: " << expectation << "\n"
+            << "=============================================================\n";
+}
+
+/// The per-node request sizes the paper's tables sweep.
+inline std::vector<sim::ByteCount> paper_request_sizes() {
+  return {64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024};
+}
+
+/// A file size giving `rounds` collective rounds for this request size on
+/// `ncompute` nodes, with a floor so small requests still do real work.
+inline sim::ByteCount file_size_for(sim::ByteCount request, int ncompute, int rounds = 8) {
+  const sim::ByteCount sz = request * static_cast<sim::ByteCount>(ncompute) * rounds;
+  return std::max<sim::ByteCount>(sz, 4 * 1024 * 1024);
+}
+
+}  // namespace ppfs::bench

@@ -1,0 +1,57 @@
+// Figure 2: read performance of the PFS I/O modes vs request size
+// (8 compute nodes, 8 I/O nodes, all reading one shared 64KB-block PFS
+// file; "Separate Files" = each node reads a private file).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pfs/io_mode.hpp"
+
+int main() {
+  using namespace ppfs;
+  using namespace ppfs::bench;
+
+  banner("Figure 2: read performance of the PFS I/O modes",
+         "Fig. 2 (File System Read Performance, 8 compute / 8 I/O nodes)",
+         "M_ASYNC ~ Separate Files ~ M_RECORD on top; M_SYNC below; "
+         "M_LOG and M_UNIX lowest (shared-pointer serialization); "
+         "all rise with request size then saturate");
+
+  Experiment exp{MachineSpec{}};
+
+  const std::vector<sim::ByteCount> request_sizes = {
+      16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024,
+      512 * 1024, 1024 * 1024, 2048 * 1024};
+
+  struct Series {
+    std::string label;
+    pfs::IoMode mode;
+    bool separate;
+  };
+  const std::vector<Series> series = {
+      {"M_UNIX", pfs::IoMode::kUnix, false},   {"M_LOG", pfs::IoMode::kLog, false},
+      {"M_SYNC", pfs::IoMode::kSync, false},   {"M_RECORD", pfs::IoMode::kRecord, false},
+      {"M_ASYNC", pfs::IoMode::kAsync, false}, {"Separate Files", pfs::IoMode::kAsync, true},
+  };
+
+  std::vector<std::string> headers = {"Request size"};
+  for (const auto& s : series) headers.push_back(s.label);
+  TextTable table(headers);
+
+  for (auto req : request_sizes) {
+    std::vector<std::string> row = {fmt_bytes(req)};
+    for (const auto& s : series) {
+      WorkloadSpec w;
+      w.mode = s.mode;
+      w.separate_files = s.separate;
+      w.request_size = req;
+      w.file_size = file_size_for(req, exp.machine_spec().ncompute, 4);
+      const auto res = exp.run(w);
+      row.push_back(fmt_double(res.observed_read_bw_mbs, 2));
+    }
+    table.add_row(row);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\nAggregate read bandwidth (MB/s) vs per-node request size:\n\n"
+            << table.str() << std::endl;
+  return 0;
+}

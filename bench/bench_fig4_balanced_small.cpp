@@ -1,0 +1,13 @@
+// Figure 4: balanced workloads, 64KB / 128KB / 256KB request sizes.
+#include "bench_fig_balanced.hpp"
+
+int main() {
+  using namespace ppfs::bench;
+  banner("Figure 4: balanced workloads (small requests)",
+         "Fig. 4 (PFS read performance for balanced workloads, 64KB-256KB)",
+         "observed bandwidth RISES with compute delay when prefetching "
+         "(reads overlap computation); without prefetching it stays flat; "
+         "larger requests need larger delays for the same relative gain");
+  run_balanced_figure({64 * 1024, 128 * 1024, 256 * 1024});
+  return 0;
+}

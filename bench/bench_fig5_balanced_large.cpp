@@ -1,0 +1,15 @@
+// Figure 5: balanced workloads, 512KB / 1MB request sizes — the regime
+// where the read itself takes longer than any of the compute delays, so
+// overlap (and thus prefetch benefit) is limited.
+#include "bench_fig_balanced.hpp"
+
+int main() {
+  using namespace ppfs::bench;
+  banner("Figure 5: balanced workloads (large requests)",
+         "Fig. 5 (PFS read performance for balanced workloads, 512KB/1MB)",
+         "read access time (~0.1-0.4s) exceeds most delays in the sweep: "
+         "little overlap is possible, so prefetching shows no significant "
+         "gain until the largest delays");
+  run_balanced_figure({512 * 1024, 1024 * 1024});
+  return 0;
+}

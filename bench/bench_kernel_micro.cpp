@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// event-queue throughput, coroutine spawn cost, resource contention,
+// stripe mapping, RNG, and pattern fill. These guard the simulator's own
+// performance — the paper benches run millions of events per sweep.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pfs/stripe.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using ppfs::sim::Resource;
+using ppfs::sim::Rng;
+using ppfs::sim::Simulation;
+using ppfs::sim::Task;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.call_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+Task<void> hop(Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(0.001);
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int p = 0; p < 100; ++p) sim.spawn(hop(sim, static_cast<int>(state.range(0))));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayHops)->Arg(10)->Arg(100);
+
+Task<void> contend(Simulation& sim, Resource& res, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await res.acquire();
+    co_await sim.delay(0.0001);
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    Resource res(sim, 4);
+    for (int p = 0; p < 32; ++p) sim.spawn(contend(sim, res, static_cast<int>(state.range(0))));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * state.range(0));
+}
+BENCHMARK(BM_ResourceContention)->Arg(50);
+
+void BM_StripeMap(benchmark::State& state) {
+  ppfs::pfs::StripeAttrs attrs;
+  attrs.stripe_unit = 64 * 1024;
+  attrs.stripe_group = {0, 1, 2, 3, 4, 5, 6, 7};
+  ppfs::pfs::StripeLayout layout(attrs);
+  const ppfs::sim::ByteCount len = static_cast<ppfs::sim::ByteCount>(state.range(0)) * 1024;
+  ppfs::sim::FileOffset off = 0;
+  for (auto _ : state) {
+    auto reqs = layout.map(off, len);
+    benchmark::DoNotOptimize(reqs);
+    off += len;
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_StripeMap)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_PatternFill(benchmark::State& state) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)) * 1024);
+  for (auto _ : state) {
+    ppfs::workload::fill_pattern(7, 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_PatternFill)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

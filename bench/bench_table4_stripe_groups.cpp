@@ -1,0 +1,60 @@
+// Table 4: PFS read performance with prefetching for different stripe
+// groups — striping across all 8 I/O nodes vs striping 8 ways across a
+// single I/O node. No compute delay.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppfs;
+  using namespace ppfs::bench;
+
+  banner("Table 4: prefetching for different stripe groups",
+         "Tab. 4 (sgroup=1 vs sgroup=8, prefetch ON, 8 compute nodes)",
+         "8 I/O nodes beat 1 by a large factor (R8/R1 speedup column); "
+         "prefetch overhead shows at 64KB requests");
+
+  Experiment exp{MachineSpec{}};
+  const int n = exp.machine_spec().ncompute;
+
+  TextTable table({"Request size (per node)", "File size", "B/W sgroup=1 (MB/s)",
+                   "B/W sgroup=8 (MB/s)", "Speedup R8/R1", "no-prefetch sgroup=8"});
+
+  for (auto req : paper_request_sizes()) {
+    WorkloadSpec base;
+    base.mode = pfs::IoMode::kRecord;
+    base.request_size = req;
+    // Keep per-config runtime sane on a single I/O node: 4 rounds.
+    base.file_size = file_size_for(req, n, 4);
+    base.prefetch = true;
+
+    // sgroup = 1: 8-way striping across I/O node 0 only.
+    auto narrow = base;
+    pfs::StripeAttrs a1;
+    a1.stripe_unit = 64 * 1024;
+    a1.stripe_group.assign(8, 0);
+    narrow.attrs = a1;
+
+    // sgroup = 8: across all I/O nodes.
+    auto wide = base;
+    pfs::StripeAttrs a8;
+    a8.stripe_unit = 64 * 1024;
+    a8.stripe_group = {0, 1, 2, 3, 4, 5, 6, 7};
+    wide.attrs = a8;
+
+    auto noprefetch = wide;
+    noprefetch.prefetch = false;
+
+    const auto r1 = exp.run(narrow);
+    const auto r8 = exp.run(wide);
+    const auto r8np = exp.run(noprefetch);
+    table.add_row({fmt_bytes(req), fmt_bytes(base.file_size),
+                   fmt_double(r1.observed_read_bw_mbs, 2),
+                   fmt_double(r8.observed_read_bw_mbs, 2),
+                   fmt_double(r8.observed_read_bw_mbs / r1.observed_read_bw_mbs, 2),
+                   fmt_double(r8np.observed_read_bw_mbs, 2)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.str() << std::endl;
+  return 0;
+}

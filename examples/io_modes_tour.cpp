@@ -1,0 +1,102 @@
+// A tour of the six PFS I/O modes: four application processes read the
+// same shared file under each mode, and we print which bytes each rank
+// got and how long the collective took — making the semantic differences
+// (and their costs) visible.
+//
+//   $ ./io_modes_tour
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/client.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/simulation.hpp"
+#include "sim/when_all.hpp"
+#include "workload/generator.hpp"
+
+using namespace ppfs;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr sim::ByteCount kReq = 64 * 1024;
+
+struct RankLog {
+  std::vector<sim::FileOffset> offsets;  // where each read landed
+};
+
+sim::Task<void> populate(pfs::PfsClient& c) {
+  const int fd = co_await c.open("tour", pfs::IoMode::kAsync);
+  std::vector<std::byte> data(1024 * 1024);
+  workload::fill_pattern(1, 0, data);
+  co_await c.write(fd, data);
+  c.close(fd);
+}
+
+sim::Task<void> rank_proc(sim::Simulation&, pfs::PfsClient& c, pfs::IoMode mode,
+                          RankLog& log) {
+  const int fd = co_await c.open("tour", mode);
+  std::vector<std::byte> buf(kReq);
+  for (int round = 0; round < 2; ++round) {
+    const sim::FileOffset before = c.tell(fd);
+    const auto got = co_await c.read(fd, buf);
+    // Identify what we actually received by matching it to the pattern.
+    sim::FileOffset landed = before;
+    for (sim::FileOffset probe = 0; probe < 1024 * 1024; probe += kReq) {
+      if (workload::find_pattern_mismatch(1, probe,
+                                          std::span<const std::byte>(buf).subspan(0, got)) ==
+          workload::kNoMismatch) {
+        landed = probe;
+        break;
+      }
+    }
+    log.offsets.push_back(landed);
+  }
+  c.close(fd);
+}
+
+}  // namespace
+
+int main() {
+  for (auto mode : pfs::all_io_modes()) {
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::MachineConfig::paragon(kRanks, 4));
+    pfs::PfsFileSystem fs(machine, pfs::PfsParams{});
+    fs.create("tour", fs.default_attrs());
+
+    std::vector<std::unique_ptr<pfs::PfsClient>> clients;
+    for (int r = 0; r < kRanks; ++r) {
+      clients.push_back(std::make_unique<pfs::PfsClient>(fs, r, r, kRanks));
+    }
+
+    // Load the file, then run the collective.
+    bool loaded = false;
+    sim.spawn([](pfs::PfsClient& c, bool& done) -> sim::Task<void> {
+      co_await populate(c);
+      done = true;
+    }(*clients[0], loaded));
+    sim.run();
+    if (!loaded) return 1;
+
+    const sim::SimTime t0 = sim.now();
+    std::vector<RankLog> logs(kRanks);
+    for (int r = 0; r < kRanks; ++r) {
+      sim.spawn(rank_proc(sim, *clients[r], mode, logs[r]));
+    }
+    sim.run();
+
+    std::printf("%-9s (mode %d): collective of 2 rounds took %7.1f ms\n",
+                std::string(pfs::to_string(mode)).c_str(), static_cast<int>(mode),
+                (sim.now() - t0) * 1000.0);
+    for (int r = 0; r < kRanks; ++r) {
+      std::printf("  rank %d read 64KB records at offsets:", r);
+      for (auto off : logs[r].offsets) std::printf(" %4lluKB", (unsigned long long)(off / 1024));
+      std::printf("\n");
+    }
+  }
+  std::printf("\nNote the patterns: M_RECORD/M_SYNC assign rank-ordered disjoint records;\n"
+              "M_GLOBAL gives every rank the same record; M_LOG hands out records\n"
+              "first-come-first-served; M_UNIX/M_ASYNC follow each rank's own pointer.\n");
+  return 0;
+}

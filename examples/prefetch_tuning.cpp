@@ -1,0 +1,104 @@
+// Tuning the prefetch engine: sweep predictor kind and depth on two access
+// patterns (record-interleaved and strided) and print hit ratios + wasted
+// prefetches — how a downstream user would pick a configuration.
+//
+//   $ ./prefetch_tuning
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/client.hpp"
+#include "pfs/filesystem.hpp"
+#include "prefetch/engine.hpp"
+#include "sim/simulation.hpp"
+#include "workload/generator.hpp"
+
+using namespace ppfs;
+
+namespace {
+
+constexpr sim::ByteCount kReq = 64 * 1024;
+constexpr sim::ByteCount kFile = 8 * 1024 * 1024;
+
+struct Outcome {
+  prefetch::PrefetchStats stats;
+  sim::SimTime in_read = 0;
+};
+
+/// Single-rank run; `stride` = 0 reads sequentially, otherwise the app
+/// seeks forward by `stride` bytes between reads.
+Outcome run_once(prefetch::PredictorKind kind, std::size_t depth, sim::ByteCount stride) {
+  sim::Simulation sim;
+  hw::Machine machine(sim, hw::MachineConfig::paragon(1, 8));
+  pfs::PfsFileSystem fs(machine, pfs::PfsParams{});
+  fs.create("data", fs.default_attrs());
+
+  pfs::PfsClient client(fs, 0, 0, 1);
+  prefetch::PrefetchConfig cfg;
+  cfg.predictor = kind;
+  cfg.depth = depth;
+  auto engine = prefetch::attach_prefetcher(client, cfg);
+
+  Outcome out;
+  bool done = false;
+  sim.spawn([](sim::Simulation& s, pfs::PfsClient& c, sim::ByteCount strd, Outcome& o,
+               bool& flag) -> sim::Task<void> {
+    // Populate.
+    int fd = co_await c.open("data", pfs::IoMode::kAsync);
+    std::vector<std::byte> chunk(1024 * 1024);
+    for (sim::ByteCount off = 0; off < kFile; off += chunk.size()) {
+      workload::fill_pattern(5, off, chunk);
+      co_await c.write(fd, chunk);
+    }
+    c.close(fd);
+
+    // Read with the requested stride and a compute phase per block.
+    fd = co_await c.open("data", pfs::IoMode::kAsync);
+    std::vector<std::byte> buf(kReq);
+    sim::FileOffset pos = 0;
+    while (pos + kReq <= kFile) {
+      co_await c.seek(fd, pos);
+      const sim::SimTime t0 = s.now();
+      co_await c.read(fd, buf);
+      o.in_read += s.now() - t0;
+      co_await s.delay(0.03);
+      pos += (strd == 0 ? kReq : strd);
+    }
+    c.close(fd);
+    flag = true;
+  }(sim, client, stride, out, done));
+  sim.run();
+  if (!done) std::abort();
+  out.stats = engine->stats();
+  return out;
+}
+
+void sweep(const char* label, sim::ByteCount stride) {
+  std::printf("\n=== %s ===\n", label);
+  std::printf("%-12s %5s %8s %8s %8s %8s %12s\n", "predictor", "depth", "hits", "misses",
+              "wasted", "hit%", "read time");
+  for (auto kind : {prefetch::PredictorKind::kModeAware, prefetch::PredictorKind::kSequential,
+                    prefetch::PredictorKind::kStrided}) {
+    for (std::size_t depth : {1u, 2u, 4u}) {
+      const auto o = run_once(kind, depth, stride);
+      const auto& st = o.stats;
+      std::printf("%-12s %5zu %8llu %8llu %8llu %7.1f%% %11.3fs\n",
+                  prefetch::predictor_name(kind), depth,
+                  (unsigned long long)(st.hits_ready + st.hits_in_flight),
+                  (unsigned long long)st.misses, (unsigned long long)st.wasted,
+                  st.hit_ratio() * 100.0, o.in_read);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("prefetch tuning on a single rank, 64KB requests, 8MB file, 30ms compute\n");
+  sweep("sequential scan (stride = request size)", 0);
+  sweep("strided scan (stride = 4x request size)", 4 * kReq);
+  std::printf("\nTakeaway: the mode-aware (prototype) rule handles the sequential scan;\n"
+              "only the strided predictor keeps hitting when the app skips ahead.\n");
+  return 0;
+}

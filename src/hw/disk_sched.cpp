@@ -1,0 +1,38 @@
+#include "hw/disk_sched.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ppfs::hw {
+
+std::uint64_t ElevatorQueue::pop_next(std::uint64_t head_cylinder) {
+  assert(!items_.empty());
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    // Nearest request at-or-beyond the head in the sweep direction.
+    std::size_t best = items_.size();
+    std::uint64_t best_dist = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const std::uint64_t c = items_[i].cylinder;
+      const bool ahead = sweeping_up_ ? c >= head_cylinder : c <= head_cylinder;
+      if (!ahead) continue;
+      const std::uint64_t dist = sweeping_up_ ? c - head_cylinder : head_cylinder - c;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best != items_.size()) {
+      const std::uint64_t id = items_[best].id;
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(best));
+      return id;
+    }
+    sweeping_up_ = !sweeping_up_;  // LOOK: reverse and retry
+  }
+  // Unreachable: after one reversal something is always "ahead".
+  const std::uint64_t id = items_.front().id;
+  items_.erase(items_.begin());
+  return id;
+}
+
+}  // namespace ppfs::hw

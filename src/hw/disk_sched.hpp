@@ -1,0 +1,48 @@
+// Disk request scheduling policies.
+//
+// The base Disk serializes requests FIFO (arrival order), which is how a
+// simple driver queue behaves. Real Paragon I/O nodes could reorder at the
+// driver: ElevatorQueue implements LOOK/SCAN ordering — serve requests in
+// cylinder order, sweeping up then down — which pays off when many compute
+// nodes interleave distant regions on one I/O node (the M_ASYNC own-region
+// pattern, or Table 4's single-I/O-node configuration).
+//
+// The queue is a policy object used by Disk when DiskParams::scheduler is
+// kElevator; it holds pending requests and picks the next one to admit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ppfs::hw {
+
+enum class DiskSched {
+  kFifo,      // arrival order
+  kElevator,  // LOOK: sweep by cylinder, reversing at the extremes
+};
+
+/// Pending-request ordering for the elevator policy. Tracks only request
+/// ids + cylinders; the Disk maps ids back to waiting coroutines.
+class ElevatorQueue {
+ public:
+  struct Item {
+    std::uint64_t id;
+    std::uint64_t cylinder;
+  };
+
+  void push(std::uint64_t id, std::uint64_t cylinder) { items_.push_back({id, cylinder}); }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+  /// Pop the next request for a head currently at `head_cylinder`:
+  /// the nearest request in the current sweep direction; reverse the
+  /// sweep when nothing lies ahead.
+  std::uint64_t pop_next(std::uint64_t head_cylinder);
+
+ private:
+  std::vector<Item> items_;
+  bool sweeping_up_ = true;
+};
+
+}  // namespace ppfs::hw

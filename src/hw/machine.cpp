@@ -1,0 +1,49 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+
+namespace ppfs::hw {
+
+MachineConfig MachineConfig::paragon(int ncompute, int nio, RaidParams raid_params) {
+  if (ncompute <= 0 || nio <= 0) {
+    throw std::invalid_argument("MachineConfig::paragon: need >=1 compute and I/O node");
+  }
+  MachineConfig cfg;
+  cfg.raid = raid_params;
+  const int total = ncompute + nio;
+  cfg.mesh.width = 4;
+  cfg.mesh.height = (total + cfg.mesh.width - 1) / cfg.mesh.width;
+  // Compute nodes fill from mesh id 0 upward; I/O nodes from the top end
+  // downward, mirroring the Paragon's partitioned backplane.
+  for (int i = 0; i < ncompute; ++i) cfg.compute_nodes.push_back(i);
+  for (int i = 0; i < nio; ++i) cfg.io_nodes.push_back(cfg.mesh.node_count() - nio + i);
+  return cfg;
+}
+
+Machine::Machine(sim::Simulation& s, MachineConfig cfg) : sim_(s), cfg_(std::move(cfg)) {
+  mesh_ = std::make_unique<MeshNetwork>(s, cfg_.mesh, &tracer_);
+  cpus_.reserve(cfg_.mesh.node_count());
+  for (int n = 0; n < cfg_.mesh.node_count(); ++n) {
+    const bool is_io =
+        std::find(cfg_.io_nodes.begin(), cfg_.io_nodes.end(), n) != cfg_.io_nodes.end();
+    cpus_.push_back(std::make_unique<NodeCpu>(
+        s, (is_io ? "io-cpu" : "cpu") + std::to_string(n),
+        is_io ? cfg_.io_cpu : cfg_.compute_cpu));
+  }
+  raids_.reserve(cfg_.io_nodes.size());
+  for (std::size_t i = 0; i < cfg_.io_nodes.size(); ++i) {
+    raids_.push_back(
+        std::make_unique<RaidArray>(s, "raid" + std::to_string(i), cfg_.raid, &tracer_));
+  }
+  for (NodeId n : cfg_.compute_nodes) mesh_->route(n, n);  // validates ids
+  for (NodeId n : cfg_.io_nodes) mesh_->route(n, n);
+}
+
+int Machine::io_index_of(NodeId node) const {
+  for (std::size_t i = 0; i < cfg_.io_nodes.size(); ++i) {
+    if (cfg_.io_nodes[i] == node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ppfs::hw

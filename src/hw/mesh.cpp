@@ -1,0 +1,92 @@
+#include "hw/mesh.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppfs::hw {
+
+MeshNetwork::MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer)
+    : sim_(s), cfg_(cfg), tracer_(tracer) {
+  if (cfg_.width <= 0 || cfg_.height <= 0) {
+    throw std::invalid_argument("MeshNetwork: non-positive dimensions");
+  }
+  const int n_links = cfg_.node_count() * 4;
+  links_.reserve(n_links);
+  for (int i = 0; i < n_links; ++i) links_.push_back(std::make_unique<sim::Resource>(s, 1));
+  link_busy_.assign(n_links, 0.0);
+}
+
+void MeshNetwork::check_node(NodeId n) const {
+  if (n < 0 || n >= cfg_.node_count()) {
+    throw std::out_of_range("MeshNetwork: node id out of range");
+  }
+}
+
+std::vector<int> MeshNetwork::route(NodeId src, NodeId dst) const {
+  check_node(src);
+  check_node(dst);
+  std::vector<int> path;
+  int x = src % cfg_.width, y = src / cfg_.width;
+  const int dx = dst % cfg_.width, dy = dst / cfg_.width;
+  while (x != dx) {  // X dimension first
+    const int dir = dx > x ? 0 : 1;
+    path.push_back(link_id(y * cfg_.width + x, dir));
+    x += dx > x ? 1 : -1;
+  }
+  while (y != dy) {
+    const int dir = dy > y ? 2 : 3;
+    path.push_back(link_id(y * cfg_.width + x, dir));
+    y += dy > y ? 1 : -1;
+  }
+  return path;
+}
+
+int MeshNetwork::hop_count(NodeId src, NodeId dst) const {
+  const int sx = src % cfg_.width, sy = src / cfg_.width;
+  const int dx = dst % cfg_.width, dy = dst / cfg_.width;
+  return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
+  check_node(src);
+  check_node(dst);
+
+  // Software injection cost is paid on the node, before touching the wires.
+  co_await sim_.delay(cfg_.software_latency);
+
+  if (src == dst) {
+    ++messages_;
+    bytes_ += bytes;
+    co_return;
+  }
+
+  auto path = route(src, dst);
+  const double transfer =
+      static_cast<double>(path.size()) * cfg_.hop_latency +
+      static_cast<double>(bytes) / cfg_.link_bandwidth;
+
+  // Circuit setup: grab the path's links in canonical order (deadlock-free)
+  // and hold them for the duration of the transfer.
+  std::vector<int> ordered = path;
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<sim::ResourceGuard> held;
+  held.reserve(ordered.size());
+  for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+
+  if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
+    std::ostringstream msg;
+    msg << "msg " << src << "->" << dst << " bytes=" << bytes << " hops=" << path.size()
+        << " t=" << transfer;
+    tracer_->log(sim::TraceCat::kNet, sim_.now(), "mesh", msg.str());
+  }
+
+  co_await sim_.delay(transfer);
+  for (int id : ordered) link_busy_[id] += transfer;
+
+  ++messages_;
+  bytes_ += bytes;
+}
+
+}  // namespace ppfs::hw

@@ -1,0 +1,81 @@
+// The Paragon 2-D mesh interconnect.
+//
+// Nodes sit on a width x height grid; messages follow dimension-ordered
+// (X then Y) wormhole routing. We model a wormhole transfer as a circuit:
+// the message holds every directed link on its path for the duration of the
+// transfer, which captures the head-of-line blocking that makes concurrent
+// full-file reads contend. Links along the path are acquired in a canonical
+// (sorted) order so concurrent circuit setups cannot deadlock.
+//
+// Per-message time = software injection latency (charged before links are
+// held) + hops x per-hop router latency + bytes / link bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::hw {
+
+using NodeId = int;
+using sim::ByteCount;
+using sim::SimTime;
+
+struct MeshConfig {
+  int width = 4;
+  int height = 4;
+  /// Raw link bandwidth, bytes/s. Paragon links ran at ~175 MB/s.
+  double link_bandwidth = 175.0e6;
+  /// Router latency per hop.
+  double hop_latency = 40.0e-9;
+  /// OS message-passing software overhead per message (send+receive path).
+  double software_latency = 45.0e-6;
+
+  int node_count() const { return width * height; }
+};
+
+class MeshNetwork {
+ public:
+  MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer = nullptr);
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  /// Deliver a message of `bytes` from src to dst. Suspends the caller for
+  /// the full transfer (rendezvous semantics: the data has arrived when
+  /// this resumes). src == dst costs only the software latency.
+  sim::Task<void> send(NodeId src, NodeId dst, ByteCount bytes);
+
+  /// The directed link ids a message from src to dst traverses, in path
+  /// order. Exposed for tests and the declustering demo.
+  std::vector<int> route(NodeId src, NodeId dst) const;
+
+  int hop_count(NodeId src, NodeId dst) const;
+  const MeshConfig& config() const noexcept { return cfg_; }
+
+  std::uint64_t messages() const noexcept { return messages_; }
+  ByteCount bytes_moved() const noexcept { return bytes_; }
+  /// Total time the given directed link spent occupied.
+  SimTime link_busy_time(int link_id) const { return link_busy_.at(link_id); }
+
+ private:
+  // Directed link leaving `node` toward direction d (0=+x,1=-x,2=+y,3=-y).
+  int link_id(NodeId node, int dir) const { return node * 4 + dir; }
+  void check_node(NodeId n) const;
+
+  sim::Simulation& sim_;
+  MeshConfig cfg_;
+  sim::Tracer* tracer_;
+  std::vector<std::unique_ptr<sim::Resource>> links_;
+  std::vector<SimTime> link_busy_;
+
+  std::uint64_t messages_ = 0;
+  ByteCount bytes_ = 0;
+};
+
+}  // namespace ppfs::hw

@@ -1,0 +1,2 @@
+// NodeCpu is header-only; see node.hpp.
+#include "hw/node.hpp"

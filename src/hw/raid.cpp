@@ -1,0 +1,65 @@
+#include "hw/raid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/when_all.hpp"
+
+namespace ppfs::hw {
+
+RaidParams RaidParams::scsi8() { return RaidParams{}; }
+
+RaidParams RaidParams::scsi16() {
+  RaidParams p;
+  p.bus_bandwidth = 16.0e6;
+  return p;
+}
+
+RaidArray::RaidArray(sim::Simulation& s, std::string name, RaidParams params,
+                     sim::Tracer* tracer)
+    : sim_(s), name_(std::move(name)), params_(params), tracer_(tracer), bus_(s, 1) {
+  if (params_.data_disks == 0) throw std::invalid_argument("RaidArray: need >= 1 data disk");
+  const std::uint32_t total = params_.data_disks + (params_.dedicated_parity ? 1 : 0);
+  members_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const bool is_parity = params_.dedicated_parity && i == total - 1;
+    members_.push_back(std::make_unique<Disk>(
+        s, name_ + (is_parity ? "/parity" : "/d" + std::to_string(i)), params_.disk, tracer_));
+  }
+}
+
+sim::Task<void> RaidArray::hold_bus(ByteCount bytes) {
+  auto guard = co_await bus_.acquire();
+  co_await sim_.delay(params_.bus_overhead_s +
+                      static_cast<double>(bytes) / params_.bus_bandwidth);
+}
+
+sim::Task<void> RaidArray::transfer(std::uint64_t lba, ByteCount bytes, bool write) {
+  if (bytes == 0) co_return;
+  // Lockstep: each data member moves an equal share; the parity member
+  // participates in writes. Member transfers and the host-side SCSI bus
+  // stream concurrently; completion is gated by the slowest of them.
+  const ByteCount per_member =
+      (bytes + params_.data_disks - 1) / params_.data_disks;
+
+  if (tracer_ && tracer_->enabled(sim::TraceCat::kDisk)) {
+    std::ostringstream msg;
+    msg << (write ? "write" : "read") << " lba=" << lba << " bytes=" << bytes
+        << " per_member=" << per_member;
+    tracer_->log(sim::TraceCat::kDisk, sim_.now(), name_, msg.str());
+  }
+
+  std::vector<sim::Task<void>> parts;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const bool is_parity = params_.dedicated_parity && i == members_.size() - 1;
+    if (is_parity && !write) continue;  // parity drive idle on reads
+    parts.push_back(members_[i]->transfer(lba, per_member, write));
+  }
+  parts.push_back(hold_bus(bytes));
+  co_await sim::when_all(sim_, std::move(parts));
+
+  ++ops_;
+  bytes_ += bytes;
+}
+
+}  // namespace ppfs::hw

@@ -1,0 +1,47 @@
+#include "pfs/async.hpp"
+
+#include <utility>
+
+namespace ppfs::pfs {
+
+ArtQueue::ArtQueue(sim::Simulation& s, std::size_t max_arts, PerformFn perform)
+    : sim_(s), arts_(s, max_arts == 0 ? 1 : max_arts), perform_(std::move(perform)) {}
+
+void ArtQueue::post(AsyncHandle req) {
+  req->posted_at = sim_.now();
+  active_list_.push_back(std::move(req));
+  pump();
+}
+
+void ArtQueue::pump() {
+  // Start ARTs for queue heads while thread slots are free. run_art
+  // acquires its slot synchronously here via the available() check, so
+  // FIFO issue order is preserved.
+  while (!active_list_.empty() && arts_.available() > 0) {
+    AsyncHandle req = active_list_.front();
+    active_list_.pop_front();
+    sim_.spawn(run_art(std::move(req)));
+  }
+}
+
+sim::Task<void> ArtQueue::run_art(AsyncHandle req) {
+  auto slot = co_await arts_.acquire();  // immediate: pump checked available()
+  try {
+    req->result = co_await perform_(*req);
+  } catch (...) {
+    req->error = std::current_exception();
+  }
+  req->completed_at = sim_.now();
+  ++completed_;
+  req->done.set();
+  slot.release();
+  pump();  // admit the next queued request, if any
+}
+
+sim::Task<ByteCount> ArtQueue::wait(AsyncHandle req) {
+  co_await req->done.wait();
+  if (req->error) std::rethrow_exception(req->error);
+  co_return req->result;
+}
+
+}  // namespace ppfs::pfs

@@ -1,0 +1,439 @@
+#include "pfs/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/when_all.hpp"
+
+namespace ppfs::pfs {
+
+PfsClient::PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs)
+    : fs_(fs),
+      machine_(fs.machine()),
+      compute_index_(compute_index),
+      mesh_node_(machine_.compute_node(compute_index)),
+      rank_(rank),
+      nprocs_(nprocs),
+      arts_(machine_.simulation(), fs.params().max_arts_per_client,
+            [this](const AsyncRequest& req) -> sim::Task<ByteCount> {
+              if (req.is_write) {
+                co_await write_at(req.fd, req.offset, req.in);
+                co_return req.length;
+              }
+              co_return co_await read_at(req.fd, req.offset, req.length, req.out,
+                                         req.fastpath);
+            }) {
+  if (rank < 0 || nprocs <= 0 || rank >= nprocs) {
+    throw std::invalid_argument("PfsClient: bad rank/nprocs");
+  }
+}
+
+PfsClient::OpenFile& PfsClient::fstate(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw std::invalid_argument("PfsClient: bad fd");
+  return it->second;
+}
+
+const PfsClient::OpenFile& PfsClient::fstate(int fd) const {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw std::invalid_argument("PfsClient: bad fd");
+  return it->second;
+}
+
+sim::Task<void> PfsClient::metadata_rpc() {
+  const auto ctrl = fs_.params().control_message_bytes;
+  co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(), ctrl);
+  co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_, ctrl);
+}
+
+sim::Task<int> PfsClient::open(const std::string& name, IoMode mode) {
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  co_await metadata_rpc();
+  PfsFileMeta* meta = fs_.lookup(name);
+  if (!meta) throw std::invalid_argument("PfsClient::open: no such PFS file: " + name);
+  const int fd = next_fd_++;
+  fds_[fd] = OpenFile{meta->id, mode, 0};
+  if (prefetcher_) prefetcher_->on_open(fd);
+  co_return fd;
+}
+
+void PfsClient::close(int fd) {
+  fstate(fd);  // validate
+  if (prefetcher_) prefetcher_->on_close(fd);
+  fds_.erase(fd);
+}
+
+FileOffset PfsClient::tell(int fd) const { return fstate(fd).pointer; }
+IoMode PfsClient::mode_of(int fd) const { return fstate(fd).mode; }
+ByteCount PfsClient::file_size(int fd) const { return fs_.file(fstate(fd).file).size; }
+
+FileOffset PfsClient::next_read_offset(int fd, ByteCount len) const {
+  const OpenFile& f = fstate(fd);
+  switch (f.mode) {
+    case IoMode::kRecord:
+      return f.pointer + static_cast<FileOffset>(rank_) * len;
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+    case IoMode::kSync:    // best-effort: assumes equal-size requests
+    case IoMode::kGlobal:
+    case IoMode::kLog:     // best-effort: assumes this node claims next
+      return f.pointer;
+  }
+  throw std::logic_error("next_read_offset: unknown mode");
+}
+
+bool PfsClient::next_offset_predictable(int fd) const {
+  switch (fstate(fd).mode) {
+    case IoMode::kRecord:
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::Task<void> PfsClient::set_iomode(int fd, IoMode mode) {
+  OpenFile& f = fstate(fd);
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  co_await metadata_rpc();
+  f.mode = mode;
+}
+
+sim::Task<void> PfsClient::seek(int fd, FileOffset off) {
+  OpenFile& f = fstate(fd);
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  if (traits(f.mode).shared_pointer) {
+    // Repositioning a shared pointer is a metadata operation.
+    co_await metadata_rpc();
+    fs_.pointers().set_pointer(f.file, off);
+  }
+  f.pointer = off;
+}
+
+sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
+                                        std::span<std::byte> out, bool fastpath) {
+  const auto ctrl = fs_.params().control_message_bytes;
+  const hw::NodeId io_node = machine_.io_node(req.io_index);
+
+  // Request message to the I/O node.
+  co_await machine_.mesh().send(mesh_node_, io_node, ctrl);
+
+  // Server reads the stripe file (staging represents the wire image; on
+  // the fast path the real machine DMAs disk->network without a server
+  // copy, so no server CPU copy is charged beyond request handling).
+  std::vector<std::byte> staging(req.length);
+  const ByteCount got = co_await fs_.server(req.io_index)
+                            .read(meta.stripe_inos[req.group_slot], req.local_offset,
+                                  req.length, staging, fastpath);
+
+  // Data travels back to the compute node.
+  co_await machine_.mesh().send(io_node, mesh_node_, got > 0 ? got : ctrl);
+
+  // Scatter the contiguous stripe-file bytes into their file-space slots
+  // in the user buffer ("Fast Path reads data directly from the disks to
+  // the user's buffer" — no extra CPU copy is charged here).
+  ByteCount cursor = 0;
+  for (const StripePiece& piece : req.pieces) {
+    if (cursor >= got) break;
+    const ByteCount n = std::min<ByteCount>(piece.length, got - cursor);
+    std::memcpy(out.data() + (piece.file_offset - base), staging.data() + cursor, n);
+    cursor += n;
+  }
+}
+
+sim::Task<ByteCount> PfsClient::read_at(int fd, FileOffset off, ByteCount len,
+                                        std::span<std::byte> out, bool fastpath) {
+  OpenFile& f = fstate(fd);
+  PfsFileMeta& meta = fs_.file(f.file);
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  if (off >= meta.size || len == 0) co_return 0;
+  len = std::min<ByteCount>(len, meta.size - off);
+  assert(out.size() >= len);
+
+  auto requests = meta.layout.map(off, len);
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(requests.size());
+  for (auto& req : requests) {
+    parts.push_back(fetch_extent(meta, std::move(req), off, out, fastpath));
+  }
+  co_await sim::when_all(machine_.simulation(), std::move(parts));
+  co_return len;
+}
+
+sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
+  OpenFile& f = fstate(fd);
+  const ByteCount len = out.size();
+  const sim::SimTime start = machine_.simulation().now();
+
+  // --- offset resolution / coordination, per I/O mode ---
+  FileOffset off = 0;
+  sim::ResourceGuard unix_lock;
+  switch (f.mode) {
+    case IoMode::kUnix: {
+      // Atomicity: take the per-file token for the whole transfer.
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      off = f.pointer;
+      break;
+    }
+    case IoMode::kAsync:
+      off = f.pointer;
+      break;
+    case IoMode::kRecord:
+      off = f.pointer + static_cast<FileOffset>(rank_) * len;
+      break;
+    case IoMode::kLog: {
+      // M_LOG is an atomic mode: the claim AND the transfer are serialized
+      // first-come-first-served, like a log append.
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
+      off = co_await fs_.pointers().fetch_and_add(f.file, len);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      break;
+    }
+    case IoMode::kSync:
+    case IoMode::kGlobal: {
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,
+                                              f.mode == IoMode::kGlobal);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      break;
+    }
+  }
+
+  // --- data transfer: prefetch buffers first, then the normal path ---
+  ByteCount got = 0;
+  bool served = false;
+  if (prefetcher_) {
+    auto hit = co_await prefetcher_->try_serve(fd, off, len, out);
+    if (hit) {
+      got = *hit;
+      served = true;
+    }
+  }
+  if (!served) {
+    // M_GLOBAL goes through the I/O-node buffer cache so that N nodes
+    // asking for the same blocks trigger one disk access.
+    const bool fast = f.fastpath && f.mode != IoMode::kGlobal;
+    got = co_await read_at(fd, off, len, out, fast);
+  }
+
+  // --- pointer advance ---
+  switch (f.mode) {
+    case IoMode::kRecord:
+      f.pointer += static_cast<FileOffset>(nprocs_) * len;
+      break;
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+      f.pointer = off + got;
+      break;
+    case IoMode::kLog:
+    case IoMode::kSync:
+      f.pointer = off + got;  // informational; the shared pointer is authoritative
+      break;
+    case IoMode::kGlobal:
+      f.pointer = off + len;
+      break;
+  }
+  if (unix_lock.owns()) {
+    unix_lock.release();
+    co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                  fs_.params().control_message_bytes);
+  }
+  if (prefetcher_) co_await prefetcher_->after_read(fd, off, len);
+
+  ++stats_.reads;
+  stats_.bytes_read += got;
+  stats_.read_time += machine_.simulation().now() - start;
+  co_return got;
+}
+
+sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
+                                        std::span<const std::byte> in, bool fastpath) {
+  const auto ctrl = fs_.params().control_message_bytes;
+  const hw::NodeId io_node = machine_.io_node(req.io_index);
+
+  // Gather file-space pieces into the contiguous stripe-file image.
+  std::vector<std::byte> staging(req.length);
+  ByteCount cursor = 0;
+  for (const StripePiece& piece : req.pieces) {
+    std::memcpy(staging.data() + cursor, in.data() + (piece.file_offset - base), piece.length);
+    cursor += piece.length;
+  }
+
+  // Data to the I/O node, then the server write, then the ack.
+  co_await machine_.mesh().send(mesh_node_, io_node, req.length);
+  co_await fs_.server(req.io_index)
+      .write(meta.stripe_inos[req.group_slot], req.local_offset, staging, fastpath);
+  co_await machine_.mesh().send(io_node, mesh_node_, ctrl);
+}
+
+sim::Task<void> PfsClient::write_at(int fd, FileOffset off, std::span<const std::byte> in) {
+  OpenFile& f = fstate(fd);
+  PfsFileMeta& meta = fs_.file(f.file);
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  if (in.empty()) co_return;
+
+  auto requests = meta.layout.map(off, in.size());
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(requests.size());
+  for (auto& req : requests) {
+    parts.push_back(store_extent(meta, std::move(req), off, in, /*fastpath=*/true));
+  }
+  co_await sim::when_all(machine_.simulation(), std::move(parts));
+  meta.size = std::max<ByteCount>(meta.size, off + in.size());
+}
+
+sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
+  OpenFile& f = fstate(fd);
+  const ByteCount len = in.size();
+  const sim::SimTime start = machine_.simulation().now();
+
+  FileOffset off = 0;
+  sim::ResourceGuard unix_lock;
+  switch (f.mode) {
+    case IoMode::kUnix: {
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      off = f.pointer;
+      break;
+    }
+    case IoMode::kAsync:
+      off = f.pointer;
+      break;
+    case IoMode::kRecord:
+      off = f.pointer + static_cast<FileOffset>(rank_) * len;
+      break;
+    case IoMode::kLog: {
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
+      off = co_await fs_.pointers().fetch_and_add(f.file, len);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      break;
+    }
+    case IoMode::kSync:
+    case IoMode::kGlobal: {
+      co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                    fs_.params().control_message_bytes);
+      off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,
+                                              f.mode == IoMode::kGlobal);
+      co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
+                                    fs_.params().control_message_bytes);
+      break;
+    }
+  }
+
+  co_await write_at(fd, off, in);
+
+  switch (f.mode) {
+    case IoMode::kRecord:
+      f.pointer += static_cast<FileOffset>(nprocs_) * len;
+      break;
+    default:
+      f.pointer = off + len;
+      break;
+  }
+  if (unix_lock.owns()) {
+    unix_lock.release();
+    co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
+                                  fs_.params().control_message_bytes);
+  }
+
+  ++stats_.writes;
+  stats_.bytes_written += len;
+  stats_.write_time += machine_.simulation().now() - start;
+  co_return len;
+}
+
+sim::Task<AsyncHandle> PfsClient::iread(int fd, std::span<std::byte> out) {
+  OpenFile& f = fstate(fd);
+  const ByteCount len = out.size();
+  if (traits(f.mode).shared_pointer || f.mode == IoMode::kUnix) {
+    // The prototype's async path targets the locally-resolvable modes;
+    // coordinated modes would need the pointer RPC inside the ART.
+    if (f.mode != IoMode::kRecord && f.mode != IoMode::kAsync) {
+      throw std::logic_error("iread: unsupported I/O mode " +
+                             std::string(to_string(f.mode)));
+    }
+  }
+
+  // "During the setup phase, the incoming request ... is allocated an
+  // internal structure": charge the ART setup cost on the user thread.
+  co_await cpu().compute(cpu().params().async_setup_overhead);
+
+  auto req = std::make_shared<AsyncRequest>(machine_.simulation());
+  req->fd = fd;
+  req->length = len;
+  req->out = out;
+  req->fastpath = f.fastpath;
+  if (f.mode == IoMode::kRecord) {
+    req->offset = f.pointer + static_cast<FileOffset>(rank_) * len;
+    f.pointer += static_cast<FileOffset>(nprocs_) * len;
+  } else {
+    req->offset = f.pointer;
+    f.pointer += len;
+  }
+  arts_.post(req);
+  co_return req;
+}
+
+sim::Task<AsyncHandle> PfsClient::iwrite(int fd, std::span<const std::byte> in) {
+  OpenFile& f = fstate(fd);
+  const ByteCount len = in.size();
+  if (f.mode != IoMode::kRecord && f.mode != IoMode::kAsync) {
+    throw std::logic_error("iwrite: unsupported I/O mode " +
+                           std::string(to_string(f.mode)));
+  }
+  co_await cpu().compute(cpu().params().async_setup_overhead);
+
+  auto req = std::make_shared<AsyncRequest>(machine_.simulation());
+  req->fd = fd;
+  req->length = len;
+  req->in = in;
+  req->is_write = true;
+  req->fastpath = f.fastpath;
+  if (f.mode == IoMode::kRecord) {
+    req->offset = f.pointer + static_cast<FileOffset>(rank_) * len;
+    f.pointer += static_cast<FileOffset>(nprocs_) * len;
+  } else {
+    req->offset = f.pointer;
+    f.pointer += len;
+  }
+  arts_.post(req);
+  co_return req;
+}
+
+sim::Task<ByteCount> PfsClient::iowait(AsyncHandle h) {
+  if (!h) throw std::invalid_argument("iowait: null handle");
+  co_return co_await arts_.wait(std::move(h));
+}
+
+AsyncHandle PfsClient::post_prefetch(int fd, FileOffset off, ByteCount len,
+                                     std::span<std::byte> out) {
+  auto req = std::make_shared<AsyncRequest>(machine_.simulation());
+  req->fd = fd;
+  req->offset = off;
+  req->length = len;
+  req->out = out;
+  req->fastpath = fstate(fd).fastpath;
+  req->is_prefetch = true;
+  arts_.post(req);
+  return req;
+}
+
+}  // namespace ppfs::pfs

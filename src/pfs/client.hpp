@@ -1,0 +1,176 @@
+// PfsClient: the client (compute-node) side of the PFS, one instance per
+// application process.
+//
+// This is where the paper's prototype lives: "A read prefetch request is
+// issued from the client-side of the Paragon OS for every read request that
+// is issued by the user." The client exposes the Prefetcher hook points:
+// before a read it offers the request to the prefetcher (hit = data served
+// from a prefetch buffer); after a (miss) read completes it notifies the
+// prefetcher, which may post a prefetch through the same ART queue user
+// ireads use.
+//
+// Mode semantics implemented here (offset resolution per read):
+//   M_UNIX    own pointer, global per-file lock held across the transfer
+//   M_ASYNC   own pointer, no coordination
+//   M_RECORD  fixed records in rank order: offset = ptr + rank*len;
+//             afterwards ptr += nprocs*len (all nodes advance identically)
+//   M_LOG     shared pointer: fetch-and-add RPC to the metadata node
+//   M_SYNC    gang call: all ranks arrive, node-ordered offsets assigned
+//   M_GLOBAL  gang call, same offset for everyone; data path goes through
+//             the I/O-node buffer cache so N nodes trigger one disk read
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/async.hpp"
+#include "pfs/filesystem.hpp"
+#include "pfs/io_mode.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::pfs {
+
+class PfsClient;
+
+/// Hook interface implemented by the prefetch engine (src/prefetch). The
+/// client works identically with or without one attached — attaching the
+/// engine IS the paper's "with prefetching" configuration.
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+  /// Attempt to serve a read from prefetched data. Returns the byte count
+  /// on a hit (including a hit on an in-flight prefetch, after waiting for
+  /// it), or nullopt on a miss.
+  virtual sim::Task<std::optional<ByteCount>> try_serve(int fd, FileOffset off, ByteCount len,
+                                                        std::span<std::byte> out) = 0;
+  /// Called after every user read (hit or miss) so the engine can issue
+  /// the next prefetch, "totally driven by the application's access
+  /// requests". Awaitable because issuing a prefetch costs user-thread CPU
+  /// (the ART setup + buffer allocation) — the overhead the paper measures.
+  virtual sim::Task<void> after_read(int fd, FileOffset off, ByteCount len) = 0;
+  virtual void on_open(int fd) = 0;
+  /// "At the time the process closes the file, all the prefetch buffers
+  /// are freed."
+  virtual void on_close(int fd) = 0;
+};
+
+struct ClientStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  ByteCount bytes_read = 0;
+  ByteCount bytes_written = 0;
+  sim::SimTime read_time = 0;   // wall time inside read() calls
+  sim::SimTime write_time = 0;
+};
+
+class PfsClient {
+ public:
+  /// `compute_index`: which compute node this process runs on;
+  /// `rank`/`nprocs`: the process's position in the parallel application.
+  PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs);
+  PfsClient(const PfsClient&) = delete;
+  PfsClient& operator=(const PfsClient&) = delete;
+
+  // --- lifecycle ---
+  sim::Task<int> open(const std::string& name, IoMode mode);
+  void close(int fd);
+  void set_prefetcher(Prefetcher* p) { prefetcher_ = p; }
+
+  /// Change the I/O mode mid-file ("the application can also set/modify
+  /// the I/O mode during the course of reading or writing the file").
+  /// A metadata operation; resets nothing but the coordination regime —
+  /// the (local) file pointer keeps its position.
+  sim::Task<void> set_iomode(int fd, IoMode mode);
+
+  /// Toggle Fast Path for this fd. When off, reads go through the
+  /// I/O-node buffer cache ("currently supported buffering strategies
+  /// allow data buffering on the I/O nodes to be enabled or disabled").
+  void set_fastpath(int fd, bool enabled) { fstate(fd).fastpath = enabled; }
+  bool fastpath(int fd) const { return fstate(fd).fastpath; }
+
+  // --- synchronous I/O ---
+  /// Read out.size() bytes at the mode-resolved offset. Returns bytes read
+  /// (clamped at EOF).
+  sim::Task<ByteCount> read(int fd, std::span<std::byte> out);
+  sim::Task<ByteCount> write(int fd, std::span<const std::byte> in);
+  sim::Task<void> seek(int fd, FileOffset off);
+
+  // --- asynchronous I/O (the ART path) ---
+  /// Post an asynchronous read; the pointer advances immediately, the data
+  /// lands later. Only the locally-resolvable modes (M_ASYNC, M_RECORD)
+  /// support asynchronous requests.
+  sim::Task<AsyncHandle> iread(int fd, std::span<std::byte> out);
+  /// Asynchronous write through the same ART machinery. The caller's
+  /// buffer must stay alive until iowait returns.
+  sim::Task<AsyncHandle> iwrite(int fd, std::span<const std::byte> in);
+  sim::Task<ByteCount> iowait(AsyncHandle h);
+
+  // --- positioned raw access (no pointer movement; prefetch uses this) ---
+  sim::Task<ByteCount> read_at(int fd, FileOffset off, ByteCount len,
+                               std::span<std::byte> out, bool fastpath);
+
+  /// Post a positioned read through the ART queue without touching file
+  /// pointers — exactly how the prototype issued prefetches.
+  AsyncHandle post_prefetch(int fd, FileOffset off, ByteCount len, std::span<std::byte> out);
+
+  // --- introspection ---
+  FileOffset tell(int fd) const;
+  IoMode mode_of(int fd) const;
+  ByteCount file_size(int fd) const;
+  /// Where this rank's NEXT synchronous read of `len` bytes will fall,
+  /// under the fd's I/O mode. Exact for M_UNIX/M_ASYNC/M_RECORD; for the
+  /// shared-pointer modes it is a best-effort guess (and the paper's
+  /// prototype only targeted M_RECORD).
+  FileOffset next_read_offset(int fd, ByteCount len) const;
+  bool next_offset_predictable(int fd) const;
+
+  int rank() const noexcept { return rank_; }
+  int nprocs() const noexcept { return nprocs_; }
+  const ClientStats& stats() const noexcept { return stats_; }
+  ArtQueue& arts() noexcept { return arts_; }
+  hw::Machine& machine() noexcept { return machine_; }
+  hw::NodeCpu& cpu() { return machine_.cpu(mesh_node_); }
+
+ private:
+  struct OpenFile {
+    FileId file = 0;
+    IoMode mode = IoMode::kUnix;
+    FileOffset pointer = 0;
+    bool fastpath = true;
+  };
+
+  OpenFile& fstate(int fd);
+  const OpenFile& fstate(int fd) const;
+
+  /// One control-message round trip to the metadata node.
+  sim::Task<void> metadata_rpc();
+
+  /// Move one stripe extent: request message out, server read, data back,
+  /// scatter into the user buffer.
+  sim::Task<void> fetch_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
+                               std::span<std::byte> out, bool fastpath);
+  sim::Task<void> store_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
+                               std::span<const std::byte> in, bool fastpath);
+
+  sim::Task<void> write_at(int fd, FileOffset off, std::span<const std::byte> in);
+
+  PfsFileSystem& fs_;
+  hw::Machine& machine_;
+  int compute_index_;
+  hw::NodeId mesh_node_;
+  int rank_;
+  int nprocs_;
+  Prefetcher* prefetcher_ = nullptr;
+  ArtQueue arts_;
+  std::map<int, OpenFile> fds_;
+  int next_fd_ = 3;
+  ClientStats stats_;
+};
+
+}  // namespace ppfs::pfs

@@ -1,0 +1,37 @@
+#include "pfs/io_mode.hpp"
+
+#include <stdexcept>
+
+namespace ppfs::pfs {
+
+namespace {
+//                                     shared  atomic  ordered  synced  same   fixed
+constexpr IoModeTraits kUnixTraits{false, true, false, false, false, false, "M_UNIX"};
+constexpr IoModeTraits kAsyncTraits{false, false, false, false, false, false, "M_ASYNC"};
+constexpr IoModeTraits kSyncTraits{true, false, true, true, false, false, "M_SYNC"};
+constexpr IoModeTraits kRecordTraits{true, false, true, false, false, true, "M_RECORD"};
+constexpr IoModeTraits kGlobalTraits{true, false, true, true, true, false, "M_GLOBAL"};
+constexpr IoModeTraits kLogTraits{true, true, false, false, false, false, "M_LOG"};
+}  // namespace
+
+const IoModeTraits& traits(IoMode mode) {
+  switch (mode) {
+    case IoMode::kUnix: return kUnixTraits;
+    case IoMode::kAsync: return kAsyncTraits;
+    case IoMode::kSync: return kSyncTraits;
+    case IoMode::kRecord: return kRecordTraits;
+    case IoMode::kGlobal: return kGlobalTraits;
+    case IoMode::kLog: return kLogTraits;
+  }
+  throw std::invalid_argument("traits: unknown IoMode");
+}
+
+const std::array<IoMode, 6>& all_io_modes() {
+  static const std::array<IoMode, 6> modes{IoMode::kUnix,   IoMode::kAsync, IoMode::kSync,
+                                           IoMode::kRecord, IoMode::kGlobal, IoMode::kLog};
+  return modes;
+}
+
+std::string_view to_string(IoMode mode) { return traits(mode).name; }
+
+}  // namespace ppfs::pfs

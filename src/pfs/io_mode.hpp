@@ -1,0 +1,54 @@
+// The Paragon PFS I/O modes (paper Figure 1).
+//
+// The modes are "hints provided by the application to the file system which
+// indicate the type of access that will be done". The taxonomy:
+//
+//   Unique file pointer
+//     |- atomicity ............ M_UNIX   (mode 0)
+//     `- no atomicity ......... M_ASYNC  (mode 1)
+//   Shared file pointer
+//     |- unordered ............ M_LOG    (mode 5)
+//     `- node order
+//        |- synchronized
+//        |   |- different data  M_SYNC   (mode 2)
+//        |   `- same data ....  M_GLOBAL (mode 4)
+//        `- not synchronized .. M_RECORD (mode 3)
+//
+// Performance implications (reproduced by this simulator, Figure 2):
+// M_UNIX serializes whole accesses for atomicity; M_LOG serializes
+// pointer assignment; M_SYNC gangs the nodes each call; M_RECORD computes
+// offsets locally (fast); M_ASYNC does no coordination at all (fastest).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace ppfs::pfs {
+
+enum class IoMode : int {
+  kUnix = 0,
+  kAsync = 1,
+  kSync = 2,
+  kRecord = 3,
+  kGlobal = 4,
+  kLog = 5,
+};
+
+struct IoModeTraits {
+  bool shared_pointer;   // one logical pointer across nodes
+  bool atomic;           // accesses serialized for atomicity
+  bool node_ordered;     // data assigned to nodes in rank order
+  bool synchronized;     // every call gangs all nodes
+  bool same_data;        // all nodes receive identical bytes
+  bool fixed_records;    // all nodes must use one request size
+  std::string_view name;
+};
+
+const IoModeTraits& traits(IoMode mode);
+
+/// All six modes, in mode-number order.
+const std::array<IoMode, 6>& all_io_modes();
+
+std::string_view to_string(IoMode mode);
+
+}  // namespace ppfs::pfs

@@ -1,0 +1,29 @@
+#include "pfs/server.hpp"
+
+namespace ppfs::pfs {
+
+PfsServer::PfsServer(hw::Machine& machine, int io_index, const PfsParams& params)
+    : machine_(machine),
+      io_index_(io_index),
+      mesh_node_(machine.io_node(io_index)),
+      params_(params),
+      device_(machine.raid(io_index)),
+      content_(params.ufs.block_bytes),
+      ufs_(machine.simulation(), "ufs-io" + std::to_string(io_index), device_, content_,
+           &machine.cpu(mesh_node_), params.ufs, &machine.tracer()) {}
+
+sim::Task<ByteCount> PfsServer::read(ufs::InodeNum ino, FileOffset local_off, ByteCount len,
+                                     std::span<std::byte> out, bool fastpath) {
+  ++requests_;
+  co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+  co_return co_await ufs_.read(ino, local_off, len, out, fastpath);
+}
+
+sim::Task<void> PfsServer::write(ufs::InodeNum ino, FileOffset local_off,
+                                 std::span<const std::byte> in, bool fastpath) {
+  ++requests_;
+  co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+  co_await ufs_.write(ino, local_off, in, fastpath);
+}
+
+}  // namespace ppfs::pfs

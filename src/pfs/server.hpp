@@ -1,0 +1,69 @@
+// PfsServer: the PFS I/O daemon on one I/O node.
+//
+// Each I/O node runs a UFS on its RAID array; the PFS server fields read
+// and write requests for the stripe files it hosts. Per-request CPU costs
+// are charged against the I/O node's processor, so many compute nodes
+// hammering one I/O node contend for its CPU as well as its disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hw/machine.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+#include "ufs/block_store.hpp"
+#include "ufs/ufs.hpp"
+
+namespace ppfs::pfs {
+
+using sim::ByteCount;
+using sim::FileOffset;
+
+struct PfsParams {
+  ufs::UfsParams ufs;
+  /// I/O-node CPU time to parse/dispatch one request and set up DMA.
+  double server_request_overhead = 120.0e-6;
+  /// Size of a PFS control message (request, ack, pointer ops) on the wire.
+  ByteCount control_message_bytes = 96;
+  /// Metadata/pointer-service CPU time per operation.
+  double pointer_service_time = 15.0e-6;
+  /// Max asynchronous request threads processing one client's queue.
+  std::size_t max_arts_per_client = 4;
+};
+
+class PfsServer {
+ public:
+  PfsServer(hw::Machine& machine, int io_index, const PfsParams& params);
+  PfsServer(const PfsServer&) = delete;
+  PfsServer& operator=(const PfsServer&) = delete;
+
+  /// Serve a read of a local stripe file. Charges server CPU, then runs
+  /// the UFS read (fast path when the request is aligned and the caller
+  /// asks for it).
+  sim::Task<ByteCount> read(ufs::InodeNum ino, FileOffset local_off, ByteCount len,
+                            std::span<std::byte> out, bool fastpath);
+
+  /// Serve a write of a local stripe file.
+  sim::Task<void> write(ufs::InodeNum ino, FileOffset local_off,
+                        std::span<const std::byte> in, bool fastpath);
+
+  ufs::Ufs& ufs() noexcept { return ufs_; }
+  int io_index() const noexcept { return io_index_; }
+  hw::NodeId mesh_node() const noexcept { return mesh_node_; }
+
+  std::uint64_t requests_served() const noexcept { return requests_; }
+
+ private:
+  hw::Machine& machine_;
+  int io_index_;
+  hw::NodeId mesh_node_;
+  const PfsParams& params_;
+  ufs::RaidBlockDevice device_;
+  ufs::ContentStore content_;
+  ufs::Ufs ufs_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace ppfs::pfs

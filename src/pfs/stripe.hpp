@@ -1,0 +1,85 @@
+// Stripe layout: how a PFS file's bytes map onto the I/O nodes.
+//
+// "Stripe attributes describe how the file is to be laid out via parameters
+// such as the stripe unit size (unit of data interleaving) and the stripe
+// group (the I/O node disk partitions across which a PFS file is
+// interleaved)."
+//
+// Mapping (paper Figure 3): stripe unit s = offset / stripe_unit lives on
+// group[s % n] at local offset (s / n) * stripe_unit + offset % stripe_unit.
+// A byte range therefore decomposes into at most one request per group
+// member, each covering a CONTIGUOUS range of that member's stripe file —
+// the member's share of consecutive stripes is consecutive locally. The
+// `pieces` of a request record where each stripe-unit-sized slice belongs
+// in the file, which is what the client needs to scatter arriving data into
+// the user buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ppfs::pfs {
+
+using sim::ByteCount;
+using sim::FileOffset;
+
+struct StripeAttrs {
+  /// Unit of data interleaving. Paper default: 64 KB.
+  ByteCount stripe_unit = 64 * 1024;
+  /// I/O-node indices the file is interleaved across, in stripe order.
+  /// The same node may appear more than once ("striping 8 ways across
+  /// 1 node" in the paper's Table 4 uses {0,0,0,0,0,0,0,0}).
+  std::vector<int> stripe_group = {0};
+
+  int group_size() const { return static_cast<int>(stripe_group.size()); }
+};
+
+/// One slice of an I/O-node request, in file space.
+struct StripePiece {
+  FileOffset file_offset;  // where this slice belongs in the PFS file
+  ByteCount length;
+};
+
+/// The portion of a byte range served by one stripe-group slot.
+struct IoNodeRequest {
+  int group_slot;          // index into StripeAttrs::stripe_group
+  int io_index;            // the I/O node behind that slot
+  FileOffset local_offset; // contiguous start within the slot's stripe file
+  ByteCount length;        // total bytes from this slot
+  std::vector<StripePiece> pieces;  // in local order; file_offset ascending
+};
+
+class StripeLayout {
+ public:
+  explicit StripeLayout(StripeAttrs attrs);
+
+  const StripeAttrs& attrs() const noexcept { return attrs_; }
+
+  /// Group slot that owns the given file offset.
+  int slot_of(FileOffset off) const {
+    return static_cast<int>((off / attrs_.stripe_unit) %
+                            static_cast<std::uint64_t>(attrs_.group_size()));
+  }
+  int io_node_of(FileOffset off) const { return attrs_.stripe_group[slot_of(off)]; }
+
+  /// Local (stripe-file) offset of the given file offset.
+  FileOffset local_offset(FileOffset off) const {
+    const std::uint64_t stripe = off / attrs_.stripe_unit;
+    return (stripe / attrs_.group_size()) * attrs_.stripe_unit + off % attrs_.stripe_unit;
+  }
+
+  /// Decompose [off, off+len) into per-slot requests (slots with no data
+  /// are omitted; result ordered by group slot).
+  std::vector<IoNodeRequest> map(FileOffset off, ByteCount len) const;
+
+  /// Local stripe-file size needed on each slot to hold a file of
+  /// `file_size` bytes (indexed by group slot).
+  std::vector<ByteCount> local_sizes(ByteCount file_size) const;
+
+ private:
+  StripeAttrs attrs_;
+};
+
+}  // namespace ppfs::pfs

@@ -1,0 +1,175 @@
+#include "prefetch/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ppfs::prefetch {
+
+PrefetchEngine::PrefetchEngine(pfs::PfsClient& client, PrefetchConfig cfg)
+    : client_(client), cfg_(cfg), predictor_(make_predictor(cfg.predictor)) {}
+
+void PrefetchEngine::on_open(int fd) {
+  lists_.try_emplace(fd);  // "when the file is opened newly by a process,
+                           // the prefetch list gets initialized"
+}
+
+std::size_t PrefetchEngine::resident_buffers(int fd) const {
+  auto it = lists_.find(fd);
+  return it == lists_.end() ? 0 : it->second.list.size();
+}
+
+bool PrefetchEngine::throttled(int fd) const {
+  auto it = lists_.find(fd);
+  return it != lists_.end() && it->second.throttled;
+}
+
+void PrefetchEngine::note_useless(FdState& st, std::uint64_t count) {
+  if (!cfg_.adaptive || count == 0) return;
+  st.useless_streak += count;
+  if (st.useless_streak >= cfg_.adaptive_cutoff && !st.throttled) {
+    st.throttled = true;
+    st.reads_since_throttle = 0;
+  }
+}
+
+sim::Task<void> PrefetchEngine::reap(PrefetchBufferList::Handle buf) {
+  // The ART is still writing into buf->data; hold the buffer until it
+  // finishes, then let it die with this frame.
+  try {
+    co_await client_.arts().wait(buf->request);
+  } catch (...) {
+    // A failing prefetch being discarded is of no consequence.
+  }
+}
+
+void PrefetchEngine::retire(PrefetchBufferList::Handle buf) {
+  if (buf && buf->in_flight()) {
+    client_.machine().simulation().spawn(reap(std::move(buf)));
+  }
+}
+
+sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset off,
+                                                              ByteCount len,
+                                                              std::span<std::byte> out) {
+  if (!cfg_.enabled) co_return std::nullopt;
+  FdState& st = lists_[fd];
+  auto& list = st.list;
+
+  auto buf = list.find(off, len);
+  if (!buf) {
+    // Wrong-prediction hygiene: anything overlapping this read but not
+    // matching it exactly will never hit; free it now.
+    std::uint64_t dropped = 0;
+    for (auto& stale : list.overlapping(off, len)) {
+      list.remove(stale);
+      retire(stale);
+      ++stats_.stale_discarded;
+      ++dropped;
+    }
+    note_useless(st, dropped);
+    ++stats_.misses;
+    co_return std::nullopt;
+  }
+
+  list.remove(buf);
+  // A hit proves the prediction stream is good again.
+  st.useless_streak = 0;
+  st.throttled = false;
+  if (buf->in_flight()) {
+    // Miss-when-presented but mostly done: wait out the remainder.
+    ++stats_.hits_in_flight;
+    const sim::SimTime t0 = client_.machine().simulation().now();
+    co_await client_.arts().wait(buf->request);
+    stats_.wait_time += client_.machine().simulation().now() - t0;
+  } else {
+    ++stats_.hits_ready;
+  }
+  if (buf->request->error) {
+    // The prefetch itself failed; fall back to the normal read path.
+    ++stats_.misses;
+    co_return std::nullopt;
+  }
+
+  const ByteCount got = std::min<ByteCount>(buf->request->result, len);
+  // "The prefetched data is copied into the prefetch buffer present in the
+  // system and from there is copied into the user buffer": charge the
+  // buffer bookkeeping plus the memory copy, then move the real bytes.
+  co_await client_.cpu().compute(client_.cpu().params().buffer_mgmt_overhead);
+  co_await client_.cpu().copy(got);
+  std::memcpy(out.data(), buf->data.data(), got);
+  stats_.bytes_served += got;
+  co_return got;
+}
+
+sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len) {
+  if (!cfg_.enabled || len == 0) co_return;
+  FdState& st = lists_[fd];
+  auto& list = st.list;
+
+  std::size_t depth = cfg_.depth;
+  if (st.throttled) {
+    // Probe mode: one single-block prefetch every probe period.
+    ++st.reads_since_throttle;
+    if (st.reads_since_throttle % cfg_.adaptive_probe_period != 0) {
+      ++stats_.throttled_skips;
+      co_return;
+    }
+    depth = 1;
+  }
+
+  const auto targets = predictor_->predict(client_, fd, off, len, depth);
+  const auto is_target = [&](const PrefetchBufferList::Handle& b) {
+    if (!b || b->length != len) return false;
+    for (FileOffset t : targets) {
+      if (b->offset == t) return true;
+    }
+    return false;
+  };
+  for (FileOffset p : targets) {
+    if (list.find(p, len)) continue;  // already buffered or in flight
+    if (list.size() >= cfg_.max_buffers_per_file) {
+      // Memory cap. Evict the oldest buffer only if it is no longer
+      // predicted (a dead prefetch — feeds the adaptive throttle); if
+      // everything resident is still in the prediction window, stop.
+      auto victim = list.oldest();
+      if (!victim || is_target(victim)) break;
+      list.remove(victim);
+      retire(victim);
+      ++stats_.wasted;
+      note_useless(st, 1);
+      if (st.throttled) break;  // throttle tripped mid-loop: stop issuing
+    }
+
+    // Issue cost on the user thread: ART setup + prefetch buffer
+    // allocation in compute-node memory.
+    co_await client_.cpu().compute(client_.cpu().params().async_setup_overhead +
+                                   client_.cpu().params().buffer_mgmt_overhead);
+
+    auto buf = std::make_shared<PrefetchBuffer>();
+    buf->offset = p;
+    buf->length = len;
+    buf->data.resize(len);
+    buf->request = client_.post_prefetch(fd, p, len, buf->data);
+    list.add(std::move(buf));
+    ++stats_.issued;
+    stats_.bytes_prefetched += len;
+  }
+}
+
+void PrefetchEngine::on_close(int fd) {
+  auto it = lists_.find(fd);
+  if (it == lists_.end()) return;
+  for (auto& buf : it->second.list.drain()) {
+    ++stats_.wasted;
+    retire(buf);
+  }
+  lists_.erase(it);
+}
+
+std::unique_ptr<PrefetchEngine> attach_prefetcher(pfs::PfsClient& client, PrefetchConfig cfg) {
+  auto engine = std::make_unique<PrefetchEngine>(client, cfg);
+  client.set_prefetcher(engine.get());
+  return engine;
+}
+
+}  // namespace ppfs::prefetch

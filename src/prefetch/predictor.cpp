@@ -1,0 +1,107 @@
+#include "prefetch/predictor.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace ppfs::prefetch {
+
+std::vector<FileOffset> ModeAwarePredictor::predict(pfs::PfsClient& client, int fd,
+                                                    FileOffset /*off*/, ByteCount len,
+                                                    std::size_t depth) {
+  if (!client.next_offset_predictable(fd) || len == 0) return {};
+  std::vector<FileOffset> out;
+  // The client's pointer has already advanced past the read we were told
+  // about, so next_read_offset names the upcoming read. Steps beyond it
+  // advance by one "round": nprocs*len for M_RECORD, len otherwise.
+  const FileOffset next = client.next_read_offset(fd, len);
+  const ByteCount step = client.mode_of(fd) == pfs::IoMode::kRecord
+                             ? static_cast<ByteCount>(client.nprocs()) * len
+                             : len;
+  const ByteCount fsize = client.file_size(fd);
+  for (std::size_t k = 0; k < depth; ++k) {
+    const FileOffset p = next + static_cast<FileOffset>(k) * step;
+    if (p >= fsize) break;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<FileOffset> SequentialPredictor::predict(pfs::PfsClient& client, int fd,
+                                                     FileOffset off, ByteCount len,
+                                                     std::size_t depth) {
+  if (len == 0) return {};
+  std::vector<FileOffset> out;
+  const ByteCount fsize = client.file_size(fd);
+  for (std::size_t k = 1; k <= depth; ++k) {
+    const FileOffset p = off + static_cast<FileOffset>(k) * len;
+    if (p >= fsize) break;
+    out.push_back(p);
+  }
+  return out;
+}
+
+StridedPredictor::History& StridedPredictor::state(int fd) {
+  for (auto& [id, h] : history_) {
+    if (id == fd) return h;
+  }
+  history_.emplace_back(fd, History{});
+  return history_.back().second;
+}
+
+void StridedPredictor::forget(int fd) {
+  for (auto it = history_.begin(); it != history_.end(); ++it) {
+    if (it->first == fd) {
+      history_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<FileOffset> StridedPredictor::predict(pfs::PfsClient& client, int fd,
+                                                  FileOffset off, ByteCount /*len*/,
+                                                  std::size_t depth) {
+  History& h = state(fd);
+  std::vector<FileOffset> out;
+  if (h.prev) {
+    const auto delta =
+        static_cast<std::int64_t>(off) - static_cast<std::int64_t>(*h.prev);
+    if (h.last_delta && *h.last_delta == delta && delta != 0) {
+      h.stride = delta;  // two agreeing deltas confirm the stride
+    } else if (h.stride && delta != *h.stride) {
+      h.stride.reset();  // pattern broke; relearn
+    }
+    h.last_delta = delta;
+  }
+  h.prev = off;
+
+  if (h.stride) {
+    const ByteCount fsize = client.file_size(fd);
+    for (std::size_t k = 1; k <= depth; ++k) {
+      const std::int64_t p =
+          static_cast<std::int64_t>(off) + static_cast<std::int64_t>(k) * *h.stride;
+      if (p < 0 || static_cast<FileOffset>(p) >= fsize) break;
+      out.push_back(static_cast<FileOffset>(p));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kModeAware: return std::make_unique<ModeAwarePredictor>();
+    case PredictorKind::kSequential: return std::make_unique<SequentialPredictor>();
+    case PredictorKind::kStrided: return std::make_unique<StridedPredictor>();
+  }
+  throw std::invalid_argument("make_predictor: unknown kind");
+}
+
+const char* predictor_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kModeAware: return "mode-aware";
+    case PredictorKind::kSequential: return "sequential";
+    case PredictorKind::kStrided: return "strided";
+  }
+  return "?";
+}
+
+}  // namespace ppfs::prefetch

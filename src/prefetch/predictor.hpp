@@ -1,0 +1,79 @@
+// Access-pattern predictors.
+//
+// The prototype's prediction is "dynamic in nature and totally driven by
+// the application's access requests. Details about when and where to
+// prefetch is derived from the read request from the application." For the
+// M_RECORD mode that means: this rank's next record is one full round
+// (nprocs x request size) past the one it just read.
+//
+// ModeAwarePredictor reproduces the prototype. StridedPredictor is an
+// extension (paper future work: "a greater variety of workloads and access
+// patterns"): it learns an arbitrary constant stride from the observed
+// request stream, covering backward and strided scans the mode-aware rule
+// misses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pfs/client.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::prefetch {
+
+using sim::ByteCount;
+using sim::FileOffset;
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  /// Given the read that just completed, the offsets worth prefetching
+  /// next, nearest-first, at most `depth` of them.
+  virtual std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                          ByteCount len, std::size_t depth) = 0;
+};
+
+/// The prototype's rule: ask the client where this rank's next reads land
+/// under the file's I/O mode (exact for M_RECORD / M_ASYNC / M_UNIX).
+class ModeAwarePredictor final : public Predictor {
+ public:
+  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                  ByteCount len, std::size_t depth) override;
+};
+
+/// Pure sequential next-block rule (ignores mode interleaving): what a
+/// uniprocessor readahead would do. Included as the paper's "strategies
+/// that work well for sequential files in uniprocessor environments may
+/// not extend" strawman — measurably wrong under M_RECORD.
+class SequentialPredictor final : public Predictor {
+ public:
+  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                  ByteCount len, std::size_t depth) override;
+};
+
+/// Learns a constant stride from the last few requests on each fd.
+/// Predicts off + k*stride once two consecutive deltas agree.
+class StridedPredictor final : public Predictor {
+ public:
+  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                  ByteCount len, std::size_t depth) override;
+
+  void forget(int fd);
+
+ private:
+  struct History {
+    std::optional<FileOffset> prev;
+    std::optional<std::int64_t> last_delta;
+    std::optional<std::int64_t> stride;  // confirmed
+  };
+  std::vector<std::pair<int, History>> history_;
+  History& state(int fd);
+};
+
+enum class PredictorKind { kModeAware, kSequential, kStrided };
+
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind);
+const char* predictor_name(PredictorKind kind);
+
+}  // namespace ppfs::prefetch

@@ -1,0 +1,45 @@
+#include "prefetch/prefetch_buffer.hpp"
+
+#include <algorithm>
+
+namespace ppfs::prefetch {
+
+void PrefetchBufferList::add(Handle buf) {
+  resident_bytes_ += buf->length;
+  buffers_.push_back(std::move(buf));
+}
+
+PrefetchBufferList::Handle PrefetchBufferList::find(FileOffset offset,
+                                                    ByteCount length) const {
+  for (const auto& b : buffers_) {
+    if (b->offset == offset && b->length == length) return b;
+  }
+  return nullptr;
+}
+
+std::vector<PrefetchBufferList::Handle> PrefetchBufferList::overlapping(
+    FileOffset offset, ByteCount length) const {
+  std::vector<Handle> out;
+  for (const auto& b : buffers_) {
+    const bool disjoint = b->offset + b->length <= offset || offset + length <= b->offset;
+    if (!disjoint) out.push_back(b);
+  }
+  return out;
+}
+
+void PrefetchBufferList::remove(const Handle& buf) {
+  auto it = std::find(buffers_.begin(), buffers_.end(), buf);
+  if (it != buffers_.end()) {
+    resident_bytes_ -= (*it)->length;
+    buffers_.erase(it);
+  }
+}
+
+std::vector<PrefetchBufferList::Handle> PrefetchBufferList::drain() {
+  std::vector<Handle> out(buffers_.begin(), buffers_.end());
+  buffers_.clear();
+  resident_bytes_ = 0;
+  return out;
+}
+
+}  // namespace ppfs::prefetch

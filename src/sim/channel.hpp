@@ -1,0 +1,119 @@
+// Channel<T>: a bounded FIFO mailbox between simulation processes, plus an
+// event-with-timeout helper.
+//
+// Channels model producer/consumer couplings (request queues, completion
+// ports) where Resource's counted-capacity shape doesn't fit. send()
+// suspends while the channel is full; receive() suspends while it is
+// empty and resolves to nullopt once the channel is closed and drained.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace ppfs::sim {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulation& sim, std::size_t capacity)
+      : sim_(sim), capacity_(capacity), not_full_(sim), not_empty_(sim) {
+    if (capacity == 0) throw std::invalid_argument("Channel: zero capacity");
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Suspend until there is room, then enqueue. Throws if the channel is
+  /// closed while (or before) waiting.
+  Task<void> send(T value) {
+    while (buffer_.size() >= capacity_ && !closed_) {
+      co_await not_full_.wait();
+    }
+    if (closed_) throw std::runtime_error("Channel: send on closed channel");
+    buffer_.push_back(std::move(value));
+    not_empty_.notify_all();
+  }
+
+  /// Enqueue without suspending; false when full or closed.
+  bool try_send(T value) {
+    if (closed_ || buffer_.size() >= capacity_) return false;
+    buffer_.push_back(std::move(value));
+    not_empty_.notify_all();
+    return true;
+  }
+
+  /// Suspend until a value is available; nullopt once closed and drained.
+  Task<std::optional<T>> receive() {
+    while (buffer_.empty() && !closed_) {
+      co_await not_empty_.wait();
+    }
+    if (buffer_.empty()) co_return std::nullopt;
+    T v = std::move(buffer_.front());
+    buffer_.pop_front();
+    not_full_.notify_all();
+    co_return std::optional<T>(std::move(v));
+  }
+
+  std::optional<T> try_receive() {
+    if (buffer_.empty()) return std::nullopt;
+    T v = std::move(buffer_.front());
+    buffer_.pop_front();
+    not_full_.notify_all();
+    return v;
+  }
+
+  /// No further sends; pending and future receives drain then get nullopt.
+  void close() {
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const noexcept { return closed_; }
+  std::size_t size() const noexcept { return buffer_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  Simulation& sim_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  Condition not_full_;
+  Condition not_empty_;
+};
+
+/// Wait for `ev` with a deadline. Resolves true if the event fired, false
+/// on timeout. If the event never fires, a small helper process stays
+/// parked on it for the rest of the run (harmless; it holds only the
+/// shared state alive).
+inline Task<bool> wait_with_timeout(Simulation& sim, Event& ev, SimTime dt) {
+  if (ev.is_set()) co_return true;
+  struct State {
+    explicit State(Simulation& s) : either(s) {}
+    Event either;
+    bool timed_out = false;
+  };
+  auto state = std::make_shared<State>(sim);
+
+  sim.call_at(sim.now() + dt, [state] {
+    if (!state->either.is_set()) {
+      state->timed_out = true;
+      state->either.set();
+    }
+  });
+  sim.spawn([](Event& src, std::shared_ptr<State> st) -> Task<void> {
+    co_await src.wait();
+    if (!st->either.is_set()) st->either.set();
+  }(ev, state));
+
+  co_await state->either.wait();
+  co_return !state->timed_out;
+}
+
+}  // namespace ppfs::sim

@@ -1,0 +1,27 @@
+#include "sim/event.hpp"
+
+#include <utility>
+
+namespace ppfs::sim {
+
+void Event::set() {
+  if (set_) return;
+  set_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_.schedule_at(sim_.now(), h);
+}
+
+void Condition::notify_all() {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_.schedule_at(sim_.now(), h);
+}
+
+void Barrier::release_all() {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_.schedule_at(sim_.now(), h);
+}
+
+}  // namespace ppfs::sim

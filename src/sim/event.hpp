@@ -1,0 +1,124 @@
+// Synchronization primitives for simulation processes.
+//
+// Event      — one-shot latch. wait() returns immediately once set; set()
+//              wakes all current waiters. reset() re-arms it. Models I/O
+//              completion notifications (the Paragon ART completion flag).
+// Condition  — broadcast signal with no memory. wait() always suspends
+//              until the *next* notify_all(). Models "state changed, go
+//              re-check" wakeups.
+// Barrier    — N-party synchronization. arrive_and_wait() suspends until
+//              all N parties have arrived, then releases everyone and
+//              re-arms for the next round. Models the gang synchronization
+//              of the M_SYNC I/O mode.
+//
+// All wakeups are scheduled through the Simulation event queue at the
+// current time, never inline, so wake order is deterministic and waiters
+// cannot re-enter the primitive while it is mid-update.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::sim {
+
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const noexcept { return set_; }
+
+  /// Latch the event and wake every waiting process (at the current time).
+  void set();
+
+  /// Re-arm a set event. No effect on waiters (there are none if set).
+  void reset() noexcept { set_ = false; }
+
+  /// Awaitable: resume immediately if set, otherwise when set() is called.
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+class Condition {
+ public:
+  explicit Condition(Simulation& sim) : sim_(sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Wake everything currently waiting; future waiters wait for the next
+  /// notification.
+  void notify_all();
+
+  auto wait() {
+    struct Awaiter {
+      Condition& cv;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { cv.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+class Barrier {
+ public:
+  Barrier(Simulation& sim, std::size_t parties) : sim_(sim), parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Awaitable: the Nth arrival releases all parties and re-arms the
+  /// barrier for the next round. With parties == 1 this never suspends
+  /// (but still yields through the event queue for determinism).
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        b.waiters_.push_back(h);
+        if (b.waiters_.size() >= b.parties_) {
+          b.release_all();
+        }
+        return true;  // always suspend; release schedules resumption
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+  std::size_t arrived() const noexcept { return waiters_.size(); }
+
+ private:
+  void release_all();
+
+  Simulation& sim_;
+  std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace ppfs::sim

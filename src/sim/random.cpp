@@ -1,0 +1,103 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppfs::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // All-zero state would be a fixed point; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo + 1;  // span==0 means full 2^64 range
+  if (span == 0) return next();
+  const std::uint64_t limit = (~0ull) - (~0ull) % span;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + v % span;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * r * std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+std::size_t Rng::zipf(const std::vector<double>& cdf) {
+  assert(!cdf.empty());
+  const double u = uniform01();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) --it;
+  return static_cast<std::size_t>(it - cdf.begin()) + 1;
+}
+
+std::vector<double> Rng::make_zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) sum += 1.0 / std::pow(static_cast<double>(k), s);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s) / sum;
+    cdf[k - 1] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Derive the child state from fresh draws so parent and child streams do
+  // not overlap for any practical horizon.
+  for (auto& w : child.s_) w = next();
+  if (child.s_[0] == 0 && child.s_[1] == 0 && child.s_[2] == 0 && child.s_[3] == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+}  // namespace ppfs::sim

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads.
+//
+// xoshiro256++ (Blackman & Vigna) with a splitmix64 seeder: fast, tiny
+// state, and — unlike std::mt19937 distributions — the helper methods here
+// produce identical sequences on every platform, which keeps experiment
+// outputs byte-for-byte reproducible.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ppfs::sim {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform01() {
+    // 53 high bits -> double mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses rejection sampling for an
+  /// unbiased result.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Normal via Box–Muller (no cached spare: simpler, still deterministic).
+  double normal(double mu, double sigma);
+
+  /// Zipf-like rank distribution over [1, n] with exponent s, by inverse
+  /// transform on the precomputed CDF supplied via make_zipf_cdf.
+  std::size_t zipf(const std::vector<double>& cdf);
+
+  static std::vector<double> make_zipf_cdf(std::size_t n, double s);
+
+  /// Fork a statistically independent child stream (for per-node RNGs).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace ppfs::sim

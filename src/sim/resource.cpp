@@ -1,0 +1,3 @@
+// Resource is header-only; this TU exists so the library has a stable
+// object for the component and a place for future out-of-line growth.
+#include "sim/resource.hpp"

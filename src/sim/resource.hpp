@@ -1,0 +1,129 @@
+// Resource: a counted, FIFO-fair semaphore for simulation processes.
+//
+// Models anything with finite service capacity: a disk channel, a SCSI bus,
+// a mesh link, an I/O-node CPU. Processes co_await acquire(n); release(n)
+// hands capacity to queued waiters strictly in arrival order (no overtaking
+// even if a later, smaller request would fit — this models FIFO hardware
+// queues and keeps results reproducible).
+//
+// acquire() returns a move-only guard; letting the guard go out of scope
+// releases the units. Use guard.release() to release early.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "sim/simulation.hpp"
+
+namespace ppfs::sim {
+
+class Resource;
+
+/// RAII ownership of acquired resource units.
+class [[nodiscard]] ResourceGuard {
+ public:
+  ResourceGuard() = default;
+  ResourceGuard(Resource* res, std::size_t units) : res_(res), units_(units) {}
+  ResourceGuard(ResourceGuard&& o) noexcept
+      : res_(std::exchange(o.res_, nullptr)), units_(std::exchange(o.units_, 0)) {}
+  ResourceGuard& operator=(ResourceGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      res_ = std::exchange(o.res_, nullptr);
+      units_ = std::exchange(o.units_, 0);
+    }
+    return *this;
+  }
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+  ~ResourceGuard() { release(); }
+
+  void release();
+  bool owns() const noexcept { return res_ != nullptr; }
+
+ private:
+  Resource* res_ = nullptr;
+  std::size_t units_ = 0;
+};
+
+class Resource {
+ public:
+  Resource(Simulation& sim, std::size_t capacity) : sim_(sim), capacity_(capacity) {
+    assert(capacity > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_use() const noexcept { return in_use_; }
+  std::size_t available() const noexcept { return capacity_ - in_use_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+  /// Awaitable acquiring `units` capacity (must be <= capacity()).
+  /// Resolves to a ResourceGuard.
+  auto acquire(std::size_t units = 1) {
+    assert(units > 0 && units <= capacity_);
+    struct Awaiter {
+      Resource& res;
+      std::size_t units;
+      bool await_ready() noexcept {
+        if (res.waiters_.empty() && res.in_use_ + units <= res.capacity_) {
+          res.in_use_ += units;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res.waiters_.push_back(Waiter{units, h});
+      }
+      ResourceGuard await_resume() noexcept { return ResourceGuard{&res, units}; }
+    };
+    return Awaiter{*this, units};
+  }
+
+  /// Return units to the pool and grant queued waiters (FIFO).
+  void release(std::size_t units) {
+    assert(units <= in_use_);
+    in_use_ -= units;
+    grant_waiters();
+  }
+
+  /// Cumulative busy time bookkeeping helpers for utilization stats.
+  double utilization(SimTime horizon) const noexcept {
+    return horizon > 0 ? busy_time_ / (horizon * static_cast<double>(capacity_)) : 0.0;
+  }
+  void note_busy(SimTime t) noexcept { busy_time_ += t; }
+
+ private:
+  struct Waiter {
+    std::size_t units;
+    std::coroutine_handle<> h;
+  };
+
+  void grant_waiters() {
+    while (!waiters_.empty() && in_use_ + waiters_.front().units <= capacity_) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      in_use_ += w.units;
+      sim_.schedule_at(sim_.now(), w.h);
+    }
+  }
+
+  Simulation& sim_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  double busy_time_ = 0.0;
+  std::deque<Waiter> waiters_;
+};
+
+inline void ResourceGuard::release() {
+  if (res_) {
+    res_->release(units_);
+    res_ = nullptr;
+    units_ = 0;
+  }
+}
+
+}  // namespace ppfs::sim

@@ -1,0 +1,90 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ppfs::sim {
+
+namespace {
+
+// Fire-and-forget wrapper coroutine used by spawn(). It starts eagerly,
+// immediately co_awaits the user task (driving it), and self-destroys on
+// completion because final_suspend never suspends.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }  // run_detached catches everything
+  };
+};
+
+struct LiveGuard {
+  std::size_t& count;
+  explicit LiveGuard(std::size_t& c) : count(c) { ++count; }
+  ~LiveGuard() { --count; }
+};
+
+Detached run_detached(Simulation& sim, std::size_t& live, Task<void> task) {
+  LiveGuard guard(live);
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    sim.report_process_error(std::current_exception());
+  }
+}
+
+}  // namespace
+
+Simulation::~Simulation() = default;
+
+void Simulation::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(h);
+  queue_.push(Item{t < now_ ? now_ : t, next_seq_++, h, nullptr});
+}
+
+void Simulation::call_at(SimTime t, std::function<void()> fn) {
+  queue_.push(Item{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulation::spawn(Task<void> task) {
+  if (!task.valid()) throw std::invalid_argument("Simulation::spawn: empty task");
+  run_detached(*this, live_processes_, std::move(task));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.t;
+  if (item.h) {
+    item.h.resume();
+  } else {
+    item.fn();
+  }
+  return true;
+}
+
+std::size_t Simulation::run(SimTime until) {
+  const auto rethrow_pending = [this] {
+    if (!errors_.empty()) {
+      auto e = errors_.front();
+      errors_.clear();
+      std::rethrow_exception(e);
+    }
+  };
+  // A spawned process may have failed eagerly, before any event exists.
+  rethrow_pending();
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().t <= until) {
+    step();
+    ++processed;
+    rethrow_pending();
+  }
+  return processed;
+}
+
+void Simulation::report_process_error(std::exception_ptr e) { errors_.push_back(std::move(e)); }
+
+}  // namespace ppfs::sim

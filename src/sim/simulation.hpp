@@ -1,0 +1,102 @@
+// The discrete-event simulation kernel.
+//
+// A Simulation owns a time-ordered event queue. Events are either coroutine
+// resumptions (the common case: a simulation process waking from a delay or
+// a resource grant) or plain callbacks. Ties in time are broken by insertion
+// order, so runs are fully deterministic.
+//
+// Processes are Task<void> coroutines started with spawn(). A spawned
+// process begins executing immediately (at the current simulated time) and
+// runs until its first co_await. Errors escaping a spawned process are
+// captured and rethrown from run(), so tests fail loudly instead of
+// silently dropping a process.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Current simulated time in seconds.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule a coroutine resumption at absolute time t (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  /// Schedule a coroutine resumption dt seconds from now.
+  void schedule_in(SimTime dt, std::coroutine_handle<> h) { schedule_at(now_ + dt, h); }
+  /// Schedule a plain callback at absolute time t.
+  void call_at(SimTime t, std::function<void()> fn);
+
+  /// Awaitable: suspend the calling process for dt simulated seconds.
+  /// A zero (or negative) delay still round-trips through the event queue,
+  /// which yields to other ready processes and keeps ordering deterministic.
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulation& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.schedule_in(dt < 0 ? 0 : dt, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Start a detached simulation process. The process begins running now;
+  /// its frame is freed when it completes. Exceptions it throws are stored
+  /// and rethrown by run().
+  void spawn(Task<void> task);
+
+  /// Run until the event queue is empty or simulated time would exceed
+  /// `until`. Returns the number of events processed. Rethrows the first
+  /// error raised by a spawned process.
+  std::size_t run(SimTime until = kTimeInfinity);
+
+  /// Execute at most one event. Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Number of spawned processes that have not yet completed. A nonzero
+  /// value after run() returns means some process is blocked forever
+  /// (e.g. waiting on an Event nobody sets) — usually a bug in the model.
+  std::size_t live_processes() const noexcept { return live_processes_; }
+
+  void report_process_error(std::exception_ptr e);
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;       // either h or fn, not both
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<std::exception_ptr> errors_;
+  std::size_t live_processes_ = 0;
+};
+
+}  // namespace ppfs::sim

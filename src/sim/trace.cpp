@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ppfs::sim {
+
+const char* Tracer::cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kDisk: return "disk";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kUfs: return "ufs";
+    case TraceCat::kPfs: return "pfs";
+    case TraceCat::kPrefetch: return "prefetch";
+    case TraceCat::kWorkload: return "workload";
+    default: return "all";
+  }
+}
+
+void Tracer::log(TraceCat cat, SimTime now, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(cat)) return;
+  std::ostringstream line;
+  line << std::fixed << std::setprecision(6) << "[" << now << "s] " << cat_name(cat) << "/"
+       << component << ": " << message << "\n";
+  if (sink_) (*sink_) << line.str();
+  if (capture_) buffer_ += line.str();
+}
+
+}  // namespace ppfs::sim

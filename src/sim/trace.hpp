@@ -1,0 +1,63 @@
+// Lightweight categorized tracing.
+//
+// Every subsystem logs through a Tracer owned by the Machine. Categories
+// are enabled at runtime (default: all off), so instrumented code costs one
+// branch when disabled. Used by tests to assert event ordering and by the
+// examples to show the request flow.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace ppfs::sim {
+
+enum class TraceCat : std::uint32_t {
+  kDisk = 1u << 0,
+  kNet = 1u << 1,
+  kUfs = 1u << 2,
+  kPfs = 1u << 3,
+  kPrefetch = 1u << 4,
+  kWorkload = 1u << 5,
+  kAll = 0xffffffffu,
+};
+
+constexpr std::uint32_t operator|(TraceCat a, TraceCat b) {
+  return static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b);
+}
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void enable(TraceCat cat) { mask_ |= static_cast<std::uint32_t>(cat); }
+  void enable_mask(std::uint32_t mask) { mask_ |= mask; }
+  void disable_all() { mask_ = 0; }
+  bool enabled(TraceCat cat) const {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+  }
+
+  /// Route output to the given stream (default: discard, keep in buffer
+  /// when capture is on).
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+  /// Keep every line in an in-memory buffer for test assertions.
+  void set_capture(bool on) { capture_ = on; }
+  const std::string& captured() const { return buffer_; }
+  void clear_captured() { buffer_.clear(); }
+
+  void log(TraceCat cat, SimTime now, std::string_view component, std::string_view message);
+
+  static const char* cat_name(TraceCat cat);
+
+ private:
+  std::uint32_t mask_ = 0;
+  std::ostream* sink_ = nullptr;
+  bool capture_ = false;
+  std::string buffer_;
+};
+
+}  // namespace ppfs::sim

@@ -1,0 +1,30 @@
+// Basic types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppfs::sim {
+
+/// Simulated time, in seconds. Double precision gives sub-nanosecond
+/// resolution over the hour-scale horizons these experiments use.
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Byte counts and file offsets. The Paragon PFS addressed files well past
+/// 4 GiB, so 64-bit throughout.
+using ByteCount = std::uint64_t;
+using FileOffset = std::uint64_t;
+
+inline constexpr ByteCount operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr ByteCount operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr ByteCount operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Convert a byte count and an elapsed time to MB/s (decimal MB, matching
+/// the units the paper reports).
+inline constexpr double megabytes_per_second(ByteCount bytes, SimTime elapsed) {
+  return elapsed > 0 ? static_cast<double>(bytes) / 1.0e6 / elapsed : 0.0;
+}
+
+}  // namespace ppfs::sim

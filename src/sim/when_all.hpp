@@ -1,0 +1,41 @@
+// when_all: run a set of child processes concurrently and await them all.
+//
+// Used for collective operations: the experiment driver spawns one process
+// per compute node and joins on all of them, like the paper's collective
+// read that is "complete when the individual I/O requests of all the nodes
+// have been satisfied".
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace ppfs::sim {
+
+namespace detail {
+
+inline Task<void> notify_when_done(Task<void> t, std::size_t& remaining, Event& done) {
+  co_await std::move(t);
+  if (--remaining == 0) done.set();
+}
+
+}  // namespace detail
+
+/// Await completion of every task in `tasks`. Children run concurrently.
+/// An exception in a child is reported through the Simulation error channel
+/// (fatal to the run), matching the "a lost process is a model bug" policy.
+inline Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  Event done(sim);
+  std::size_t remaining = tasks.size();
+  for (auto& t : tasks) {
+    sim.spawn(detail::notify_when_done(std::move(t), remaining, done));
+  }
+  co_await done.wait();
+}
+
+}  // namespace ppfs::sim

@@ -1,0 +1,92 @@
+// Device-level byte content, and the device timing interface.
+//
+// The simulator separates WHEN data moves (BlockDevice::transfer — mechanical
+// timing, modeled by hw::RaidArray) from WHAT the bytes are (ContentStore —
+// a sparse in-memory image of the medium). Every read in the stack returns
+// real bytes, so integrity tests catch addressing bugs end-to-end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/raid.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::ufs {
+
+using sim::ByteCount;
+using sim::FileOffset;
+
+/// Timing interface to a storage device (sector-addressed).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+  /// Suspend the caller for the duration of moving `bytes` at `sector`.
+  virtual sim::Task<void> transfer(std::uint64_t sector, ByteCount bytes, bool write) = 0;
+  virtual ByteCount capacity_bytes() const = 0;
+  virtual std::uint32_t sector_bytes() const = 0;
+};
+
+/// Adaptor: an hw::RaidArray as a BlockDevice.
+class RaidBlockDevice final : public BlockDevice {
+ public:
+  explicit RaidBlockDevice(hw::RaidArray& raid) : raid_(raid) {}
+  sim::Task<void> transfer(std::uint64_t sector, ByteCount bytes, bool write) override {
+    return raid_.transfer(sector, bytes, write);
+  }
+  ByteCount capacity_bytes() const override { return raid_.capacity_bytes(); }
+  std::uint32_t sector_bytes() const override {
+    return raid_.params().disk.sector_bytes;
+  }
+
+ private:
+  hw::RaidArray& raid_;
+};
+
+/// Zero-latency device for unit tests of the layers above.
+class NullBlockDevice final : public BlockDevice {
+ public:
+  explicit NullBlockDevice(sim::Simulation& s, ByteCount capacity = 1ull << 32)
+      : sim_(s), capacity_(capacity) {}
+  sim::Task<void> transfer(std::uint64_t, ByteCount bytes, bool write) override {
+    ++ops_;
+    bytes_ += bytes;
+    if (write) ++writes_;
+    co_await sim_.delay(0);
+  }
+  ByteCount capacity_bytes() const override { return capacity_; }
+  std::uint32_t sector_bytes() const override { return 512; }
+
+  std::uint64_t ops() const noexcept { return ops_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+  ByteCount bytes() const noexcept { return bytes_; }
+
+ private:
+  sim::Simulation& sim_;
+  ByteCount capacity_;
+  std::uint64_t ops_ = 0, writes_ = 0;
+  ByteCount bytes_ = 0;
+};
+
+/// Sparse byte image of a device. Unwritten ranges read back as zero.
+class ContentStore {
+ public:
+  explicit ContentStore(ByteCount chunk_bytes = 64 * 1024) : chunk_(chunk_bytes) {}
+
+  void write(FileOffset offset, std::span<const std::byte> data);
+  void read(FileOffset offset, std::span<std::byte> out) const;
+
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+  ByteCount chunk_bytes() const noexcept { return chunk_; }
+
+ private:
+  ByteCount chunk_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> chunks_;
+};
+
+}  // namespace ppfs::ufs

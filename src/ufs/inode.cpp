@@ -1,0 +1,64 @@
+#include "ufs/inode.hpp"
+
+#include <stdexcept>
+
+namespace ppfs::ufs {
+
+BlockAllocator::BlockAllocator(std::uint64_t total_blocks) : used_(total_blocks, false) {
+  if (total_blocks == 0) throw std::invalid_argument("BlockAllocator: zero blocks");
+}
+
+std::optional<std::uint64_t> BlockAllocator::allocate(std::uint64_t hint) {
+  if (allocated_ == used_.size()) return std::nullopt;
+  const std::uint64_t n = used_.size();
+  const std::uint64_t start = hint < n ? hint : 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t b = (start + i) % n;
+    if (!used_[b]) {
+      used_[b] = true;
+      ++allocated_;
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+void BlockAllocator::free(std::uint64_t block) {
+  if (!used_.at(block)) throw std::logic_error("BlockAllocator: double free");
+  used_[block] = false;
+  --allocated_;
+}
+
+InodeNum InodeTable::create(const std::string& name) {
+  if (directory_.count(name)) throw std::invalid_argument("InodeTable: file exists: " + name);
+  const InodeNum ino = next_ino_++;
+  inodes_[ino] = Inode{ino, 0, {}};
+  directory_[name] = ino;
+  return ino;
+}
+
+InodeNum InodeTable::lookup(const std::string& name) const {
+  auto it = directory_.find(name);
+  return it == directory_.end() ? kInvalidInode : it->second;
+}
+
+void InodeTable::remove(const std::string& name) {
+  auto it = directory_.find(name);
+  if (it == directory_.end()) throw std::invalid_argument("InodeTable: no such file: " + name);
+  inodes_.erase(it->second);
+  directory_.erase(it);
+}
+
+Inode& InodeTable::get(InodeNum ino) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) throw std::out_of_range("InodeTable: bad inode");
+  return it->second;
+}
+
+const Inode& InodeTable::get(InodeNum ino) const {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) throw std::out_of_range("InodeTable: bad inode");
+  return it->second;
+}
+
+}  // namespace ppfs::ufs

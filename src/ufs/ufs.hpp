@@ -1,0 +1,142 @@
+// Ufs: the Unix File System instance running on one I/O node.
+//
+// The Paragon PFS "stripes the files across a group of regular Unix File
+// Systems (UFS) which are located on distinct storage devices"; this class
+// is one of those UFS instances. It provides:
+//
+//  * create/lookup over a flat directory,
+//  * contiguity-seeking block allocation,
+//  * a buffered read/write path through the LRU buffer cache (partial /
+//    unaligned requests pay an extra staging copy, the overhead the paper
+//    attributes to "creating temporary buffers for the size of the partial
+//    blocks and copying only the necessary data"),
+//  * a Fast Path for block-aligned transfers: cache bypassed, data moves
+//    device<->user buffer directly, with contiguous-run coalescing so a
+//    multi-block request on a contiguous file costs one disk access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+#include "ufs/block_store.hpp"
+#include "ufs/buffer_cache.hpp"
+#include "ufs/inode.hpp"
+
+namespace ppfs::ufs {
+
+using sim::FileOffset;
+
+struct UfsParams {
+  /// File system block size; 64 KB was the Paragon PFS default.
+  ByteCount block_bytes = 64 * 1024;
+  std::size_t cache_blocks = 128;
+  /// Merge physically-contiguous block runs into single disk accesses.
+  bool coalesce = true;
+  /// SERVER-side readahead: after a buffered read finishes at file block b,
+  /// asynchronously pull blocks b+1..b+readahead_blocks into the buffer
+  /// cache. This is the classic uniprocessor strategy the paper contrasts
+  /// with client-side prefetching — it only helps the buffered path (the
+  /// Fast Path bypasses the cache by design) and it cannot see the
+  /// per-compute-node interleave the client-side engine exploits.
+  std::uint32_t readahead_blocks = 0;
+};
+
+struct UfsStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fastpath_reads = 0;
+  std::uint64_t fastpath_writes = 0;
+  std::uint64_t disk_runs = 0;        // device transfers issued by fast path
+  std::uint64_t coalesced_blocks = 0; // blocks moved in multi-block runs
+  std::uint64_t readaheads_issued = 0;
+  sim::ByteCount bytes_read = 0;
+  sim::ByteCount bytes_written = 0;
+};
+
+class Ufs {
+ public:
+  Ufs(sim::Simulation& s, std::string name, BlockDevice& device, ContentStore& content,
+      hw::NodeCpu* cpu, UfsParams params, sim::Tracer* tracer = nullptr);
+  Ufs(const Ufs&) = delete;
+  Ufs& operator=(const Ufs&) = delete;
+
+  // --- namespace ---
+  InodeNum create(const std::string& name) { return inodes_.create(name); }
+  InodeNum lookup(const std::string& name) const { return inodes_.lookup(name); }
+  void remove(const std::string& name);
+  const Inode& inode_of(InodeNum ino) const { return inodes_.get(ino); }
+  ByteCount file_size(InodeNum ino) const { return inodes_.get(ino).size; }
+
+  // --- data path ---
+  /// Read up to len bytes at off into out (out.size() >= len). Returns the
+  /// byte count actually read (clamped at EOF). `fastpath` requests the
+  /// cache-bypassing DMA path; it silently degrades to the buffered path
+  /// when the request is not block-aligned.
+  sim::Task<ByteCount> read(InodeNum ino, FileOffset off, ByteCount len,
+                            std::span<std::byte> out, bool fastpath);
+
+  /// Write, extending the file (and allocating blocks) as needed.
+  sim::Task<void> write(InodeNum ino, FileOffset off, std::span<const std::byte> in,
+                        bool fastpath);
+
+  const UfsParams& params() const noexcept { return params_; }
+  const UfsStats& stats() const noexcept { return stats_; }
+  const BufferCache& cache() const noexcept { return cache_; }
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t total_blocks() const noexcept { return allocator_.total_blocks(); }
+  std::uint64_t free_blocks() const noexcept { return allocator_.free_blocks(); }
+
+ private:
+  std::uint64_t sectors_per_block() const {
+    return params_.block_bytes / device_.sector_bytes();
+  }
+  std::uint64_t block_to_sector(std::uint64_t phys) const {
+    return phys * sectors_per_block();
+  }
+  FileOffset device_offset(std::uint64_t phys, ByteCount in_block) const {
+    return phys * params_.block_bytes + in_block;
+  }
+  bool aligned(FileOffset off, ByteCount len) const {
+    return off % params_.block_bytes == 0 && len % params_.block_bytes == 0;
+  }
+
+  /// Grow the inode's block list to cover byte offset `upto` (exclusive).
+  void ensure_allocated(Inode& node, FileOffset upto);
+
+  /// A physically-contiguous run of a file's blocks.
+  struct Run {
+    std::uint64_t phys_first;
+    std::uint64_t count;
+  };
+  std::vector<Run> contiguous_runs(const Inode& node, std::uint64_t first_block,
+                                   std::uint64_t block_count) const;
+
+  sim::Task<ByteCount> read_fastpath(const Inode& node, FileOffset off, ByteCount len,
+                                     std::span<std::byte> out);
+  sim::Task<ByteCount> read_buffered(const Inode& node, FileOffset off, ByteCount len,
+                                     std::span<std::byte> out);
+  /// Launch background cache fills for the blocks after `last_block`.
+  void issue_readahead(const Inode& node, std::uint64_t last_block);
+  sim::Task<void> readahead_one(std::uint64_t phys);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  BlockDevice& device_;
+  ContentStore& content_;
+  hw::NodeCpu* cpu_;  // may be null in unit tests (no copy cost charged)
+  UfsParams params_;
+  sim::Tracer* tracer_;
+  InodeTable inodes_;
+  BlockAllocator allocator_;
+  BufferCache cache_;
+  UfsStats stats_;
+};
+
+}  // namespace ppfs::ufs

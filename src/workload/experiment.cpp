@@ -1,0 +1,286 @@
+#include "workload/experiment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "pfs/client.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "sim/when_all.hpp"
+
+namespace ppfs::workload {
+
+namespace {
+
+using pfs::IoMode;
+using sim::SimTime;
+using sim::Task;
+
+constexpr std::uint64_t kSharedTag = 1;
+constexpr std::uint64_t kSeparateTagBase = 100;
+
+/// Write `size` patterned bytes into an existing PFS file through the full
+/// stack (fast-path writes in 1 MB chunks). `name` is taken by value: the
+/// returned Task is stored and awaited later, so reference parameters to
+/// caller temporaries would dangle.
+Task<void> populate(pfs::PfsClient& loader, std::string name, std::uint64_t tag,
+                    ByteCount size) {
+  const int fd = co_await loader.open(name, IoMode::kAsync);
+  const ByteCount chunk = std::min<ByteCount>(size, 1024 * 1024);
+  std::vector<std::byte> buf(chunk);
+  for (ByteCount off = 0; off < size; off += chunk) {
+    const ByteCount n = std::min<ByteCount>(chunk, size - off);
+    fill_pattern(tag, off, std::span(buf).subspan(0, n));
+    co_await loader.write(fd, std::span<const std::byte>(buf).subspan(0, n));
+  }
+  loader.close(fd);
+}
+
+struct NodePlan {
+  std::string file;
+  std::uint64_t tag = kSharedTag;
+  std::uint64_t reads = 0;
+  ByteCount own_region_start = 0;  // seek target for unique-pointer modes
+  bool seek_first = false;
+  bool interleave_seeks = false;   // seek to (k*N + rank)*req before read k
+};
+
+struct NodeOutcome {
+  SimTime start = 0;
+  SimTime end = 0;
+  ByteCount bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t verify_failures = 0;
+  std::vector<SimTime> latencies;  // per read call
+};
+
+/// Expected file offset of read k for verification purposes.
+FileOffset expected_offset(const WorkloadSpec& w, const NodePlan& plan, int rank, int nprocs,
+                           std::uint64_t k, FileOffset observed_ptr_after,
+                           ByteCount got) {
+  switch (w.mode) {
+    case IoMode::kRecord:
+      return (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size;
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+      if (plan.interleave_seeks) {
+        return (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size;
+      }
+      return plan.own_region_start + k * w.request_size;
+    case IoMode::kGlobal:
+      return k * w.request_size;
+    case IoMode::kLog:
+    case IoMode::kSync:
+      // The claimed region is only known after the fact: the client's
+      // pointer lands at claim_end.
+      return observed_ptr_after - got;
+  }
+  throw std::logic_error("expected_offset: unknown mode");
+}
+
+Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
+                  sim::Barrier& start_line, NodeOutcome& out, int rank, int nprocs) {
+  const int fd = co_await client.open(plan.file, w.separate_files ? IoMode::kAsync : w.mode);
+  if (!w.use_fastpath) client.set_fastpath(fd, false);
+  if (plan.seek_first && plan.own_region_start != 0) {
+    co_await client.seek(fd, plan.own_region_start);
+  }
+  co_await start_line.arrive_and_wait();
+  out.start = client.machine().simulation().now();
+
+  std::vector<std::byte> buf(w.request_size);
+  for (std::uint64_t k = 0; k < plan.reads; ++k) {
+    if (plan.interleave_seeks) {
+      co_await client.seek(
+          fd, (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size);
+    }
+    const SimTime call_start = client.machine().simulation().now();
+    const ByteCount got = co_await client.read(fd, buf);
+    out.latencies.push_back(client.machine().simulation().now() - call_start);
+    out.bytes += got;
+    ++out.reads;
+    if (w.verify && got > 0) {
+      const FileOffset off =
+          expected_offset(w, plan, rank, nprocs, k, client.tell(fd), got);
+      if (find_pattern_mismatch(plan.tag, off,
+                                std::span<const std::byte>(buf).subspan(0, got)) !=
+          kNoMismatch) {
+        ++out.verify_failures;
+      }
+    }
+    out.end = client.machine().simulation().now();
+    if (w.compute_delay > 0 && k + 1 < plan.reads) {
+      co_await client.machine().simulation().delay(w.compute_delay);
+    }
+  }
+  client.close(fd);
+}
+
+}  // namespace
+
+ExperimentResult Experiment::run(const WorkloadSpec& w) const {
+  if (w.request_size == 0) throw std::invalid_argument("Experiment: zero request size");
+  const int N = spec_.ncompute;
+
+  sim::Simulation sim;
+  hw::MachineConfig mcfg = hw::MachineConfig::paragon(spec_.ncompute, spec_.nio, spec_.raid);
+  mcfg.compute_cpu = spec_.compute_cpu;
+  mcfg.io_cpu = spec_.io_cpu;
+  hw::Machine machine(sim, mcfg);
+  pfs::PfsFileSystem fs(machine, spec_.pfs);
+  const pfs::StripeAttrs attrs = w.attrs.value_or(fs.default_attrs());
+
+  std::vector<std::unique_ptr<pfs::PfsClient>> clients;
+  clients.reserve(N);
+  for (int r = 0; r < N; ++r) {
+    clients.push_back(std::make_unique<pfs::PfsClient>(fs, r, r, N));
+  }
+  std::vector<std::unique_ptr<prefetch::PrefetchEngine>> engines(N);
+  if (w.prefetch) {
+    for (int r = 0; r < N; ++r) {
+      engines[r] = prefetch::attach_prefetcher(*clients[r], w.prefetch_cfg);
+    }
+  }
+
+  // --- plan the per-node work ---
+  std::vector<NodePlan> plans(N);
+  if (w.separate_files) {
+    const ByteCount per_node = w.file_size / N;
+    for (int r = 0; r < N; ++r) {
+      plans[r].file = "sep" + std::to_string(r);
+      plans[r].tag = kSeparateTagBase + r;
+      plans[r].reads = per_node / w.request_size;
+      // Stagger each file's first stripe placement (rotate the group), as
+      // a real mount does — otherwise N lockstep readers all land on group
+      // slot 0 simultaneously, which no production placement policy allows.
+      pfs::StripeAttrs rotated = attrs;
+      const int g = rotated.group_size();
+      std::rotate(rotated.stripe_group.begin(),
+                  rotated.stripe_group.begin() + (r % g), rotated.stripe_group.end());
+      fs.create(plans[r].file, rotated);
+    }
+  } else {
+    fs.create("shared", attrs);
+    for (int r = 0; r < N; ++r) {
+      plans[r].file = "shared";
+      switch (w.mode) {
+        case IoMode::kRecord:
+          plans[r].reads = w.file_size / (w.request_size * static_cast<ByteCount>(N));
+          break;
+        case IoMode::kGlobal:
+          plans[r].reads = w.file_size / w.request_size;
+          break;
+        case IoMode::kUnix:
+        case IoMode::kAsync: {
+          if (w.pattern == AccessPattern::kInterleaved) {
+            plans[r].reads = w.file_size / (w.request_size * static_cast<ByteCount>(N));
+            plans[r].interleave_seeks = true;
+          } else {
+            const ByteCount share = w.file_size / N;
+            plans[r].reads = share / w.request_size;
+            plans[r].own_region_start = static_cast<ByteCount>(r) * share;
+            plans[r].seek_first = true;
+          }
+          break;
+        }
+        case IoMode::kLog:
+        case IoMode::kSync:
+          plans[r].reads = (w.file_size / N) / w.request_size;
+          break;
+      }
+    }
+  }
+  for (const auto& p : plans) {
+    if (p.reads == 0) {
+      throw std::invalid_argument("Experiment: file too small for one request per node");
+    }
+  }
+
+  // --- populate (simulated time spent here is not measured) ---
+  {
+    std::vector<Task<void>> loads;
+    if (w.separate_files) {
+      for (int r = 0; r < N; ++r) {
+        loads.push_back(populate(*clients[r], plans[r].file, plans[r].tag, w.file_size / N));
+      }
+    } else {
+      loads.push_back(populate(*clients[0], "shared", kSharedTag, w.file_size));
+    }
+    bool done = false;
+    sim.spawn([](sim::Simulation& s, std::vector<Task<void>> ts, bool& flag) -> Task<void> {
+      co_await sim::when_all(s, std::move(ts));
+      flag = true;
+    }(sim, std::move(loads), done));
+    sim.run();
+    if (!done) throw std::runtime_error("Experiment: population deadlocked");
+  }
+
+  // Snapshot client stats so only the read phase is measured.
+  std::vector<sim::SimTime> read_time_base(N);
+  for (int r = 0; r < N; ++r) read_time_base[r] = clients[r]->stats().read_time;
+
+  // --- read phase ---
+  sim::Barrier start_line(sim, N);
+  std::vector<NodeOutcome> outcomes(N);
+  for (int r = 0; r < N; ++r) {
+    sim.spawn(reader(w, *clients[r], plans[r], start_line, outcomes[r], r, N));
+  }
+  sim.run();
+
+  // --- collect ---
+  ExperimentResult res;
+  res.spec = w;
+  SimTime t0 = sim::kTimeInfinity, t1 = 0;
+  for (int r = 0; r < N; ++r) {
+    if (outcomes[r].reads != plans[r].reads) {
+      throw std::runtime_error("Experiment: node " + std::to_string(r) +
+                               " did not finish its reads (deadlock?)");
+    }
+    res.total_bytes += outcomes[r].bytes;
+    res.reads += outcomes[r].reads;
+    res.verify_failures += outcomes[r].verify_failures;
+    t0 = std::min(t0, outcomes[r].start);
+    t1 = std::max(t1, outcomes[r].end);
+    for (SimTime lat : outcomes[r].latencies) res.read_latencies.add(lat);
+    const SimTime rt = clients[r]->stats().read_time - read_time_base[r];
+    res.node_read_time.push_back(rt);
+    res.max_node_read_time = std::max(res.max_node_read_time, rt);
+    if (engines[r]) {
+      const auto& st = engines[r]->stats();
+      res.prefetch.issued += st.issued;
+      res.prefetch.hits_ready += st.hits_ready;
+      res.prefetch.hits_in_flight += st.hits_in_flight;
+      res.prefetch.misses += st.misses;
+      res.prefetch.stale_discarded += st.stale_discarded;
+      res.prefetch.wasted += st.wasted;
+      res.prefetch.bytes_prefetched += st.bytes_prefetched;
+      res.prefetch.bytes_served += st.bytes_served;
+      res.prefetch.wait_time += st.wait_time;
+    }
+  }
+  res.wall_elapsed = t1 - t0;
+  res.mean_read_call_time =
+      res.reads ? std::accumulate(res.node_read_time.begin(), res.node_read_time.end(), 0.0) /
+                      static_cast<double>(res.reads)
+                : 0.0;
+  res.observed_read_bw_mbs =
+      sim::megabytes_per_second(res.total_bytes, res.max_node_read_time);
+  res.wall_bw_mbs = sim::megabytes_per_second(res.total_bytes, res.wall_elapsed);
+  return res;
+}
+
+sim::SimTime Experiment::read_access_time(ByteCount request_size) const {
+  WorkloadSpec w;
+  w.mode = IoMode::kRecord;
+  w.request_size = request_size;
+  // 4 rounds give a steady-state mean without a long run.
+  w.file_size = request_size * static_cast<ByteCount>(spec_.ncompute) * 4;
+  const auto res = run(w);
+  return res.mean_read_call_time;
+}
+
+}  // namespace ppfs::workload

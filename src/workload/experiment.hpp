@@ -1,0 +1,74 @@
+// The experiment driver: build a machine, lay out the file(s), run one
+// workload, report the paper's metrics.
+//
+// Metrics, following Section 4: "The read bandwidth is the total amount of
+// data that can be read by all the nodes per unit time as observed by the
+// application. For a parallel I/O mode like M_RECORD, the numerator would
+// be the amount of data read by all the compute nodes and the time taken
+// is the time taken by a compute node to complete all the read calls."
+// observed_read_bw uses exactly that denominator (the slowest node's total
+// time spent inside read calls) — which is why prefetching that overlaps
+// I/O with the inter-read computation raises the observed bandwidth. The
+// wall-clock bandwidth (including compute) is reported alongside.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/stats.hpp"
+#include "pfs/server.hpp"
+#include "prefetch/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace ppfs::workload {
+
+struct MachineSpec {
+  int ncompute = 8;
+  int nio = 8;
+  hw::RaidParams raid = hw::RaidParams::scsi8();
+  hw::CpuParams compute_cpu{};
+  hw::CpuParams io_cpu{};
+  pfs::PfsParams pfs{};
+};
+
+struct ExperimentResult {
+  // Inputs echoed back for table printing.
+  WorkloadSpec spec;
+
+  ByteCount total_bytes = 0;     // delivered to the application(s)
+  std::uint64_t reads = 0;
+  sim::SimTime wall_elapsed = 0; // first read issued -> last read complete
+  /// Per-node total time inside read calls; max is the paper's denominator.
+  std::vector<sim::SimTime> node_read_time;
+  sim::SimTime max_node_read_time = 0;
+  sim::SimTime mean_read_call_time = 0;
+  /// Per-read-call latency distribution across all nodes.
+  sim::SampleSet read_latencies;
+
+  double observed_read_bw_mbs = 0;  // total_bytes / max_node_read_time
+  double wall_bw_mbs = 0;           // total_bytes / wall_elapsed
+
+  prefetch::PrefetchStats prefetch;  // summed across nodes (zero w/o engine)
+  std::uint64_t verify_failures = 0;
+};
+
+/// Runs workloads on a freshly-built machine each time (fully
+/// deterministic; no state leaks between runs).
+class Experiment {
+ public:
+  explicit Experiment(MachineSpec spec = {}) : spec_(spec) {}
+
+  ExperimentResult run(const WorkloadSpec& w) const;
+
+  /// Paper Table 2: the access time of a single read call of this size in
+  /// the standard collective (no prefetch, no delays) setting.
+  sim::SimTime read_access_time(ByteCount request_size) const;
+
+  const MachineSpec& machine_spec() const noexcept { return spec_; }
+
+ private:
+  MachineSpec spec_;
+};
+
+}  // namespace ppfs::workload

@@ -1,0 +1,17 @@
+#include "workload/generator.hpp"
+
+namespace ppfs::workload {
+
+void fill_pattern(std::uint64_t tag, FileOffset start, std::span<std::byte> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = pattern_byte(tag, start + i);
+}
+
+std::size_t find_pattern_mismatch(std::uint64_t tag, FileOffset start,
+                                  std::span<const std::byte> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(tag, start + i)) return i;
+  }
+  return kNoMismatch;
+}
+
+}  // namespace ppfs::workload

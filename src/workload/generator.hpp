@@ -1,0 +1,73 @@
+// Workload specification and deterministic data patterns.
+//
+// The paper's evaluation uses synthetic workloads: every compute node reads
+// a shared file in M_RECORD mode (or its own file for the "Separate Files"
+// baseline), with "delays ... introduced between I/O accesses in this
+// synthetic workload to simulate the computation phases of a program".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "pfs/io_mode.hpp"
+#include "pfs/stripe.hpp"
+#include "prefetch/engine.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::workload {
+
+using sim::ByteCount;
+using sim::FileOffset;
+using sim::SimTime;
+
+/// How the unique-pointer modes (M_UNIX, M_ASYNC) walk the shared file.
+/// kInterleaved issues the same record-interleaved pattern as M_RECORD
+/// (but by explicit seeks, with no mode machinery) — the apples-to-apples
+/// pattern of the paper's Figure 2 comparison. kOwnRegion has node r scan
+/// [r*share, (r+1)*share) sequentially, a prefetch-friendly scan.
+enum class AccessPattern { kInterleaved, kOwnRegion };
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  pfs::IoMode mode = pfs::IoMode::kRecord;
+  AccessPattern pattern = AccessPattern::kInterleaved;
+  /// Per-node read request size.
+  ByteCount request_size = 64 * 1024;
+  /// Total bytes the application reads (split across the nodes; for
+  /// M_GLOBAL each node reads all of it).
+  ByteCount file_size = 8 * 1024 * 1024;
+  /// Simulated computation between consecutive reads on each node.
+  SimTime compute_delay = 0.0;
+  /// Attach the prefetch engine (the paper's "with prefetching" runs).
+  bool prefetch = false;
+  prefetch::PrefetchConfig prefetch_cfg{};
+  /// Striping override; defaults to the mount default (64 KB across all
+  /// I/O nodes).
+  std::optional<pfs::StripeAttrs> attrs;
+  /// Paper Fig 2's "Separate Files": each node reads a private file.
+  bool separate_files = false;
+  /// Fast Path (cache-bypassing DMA reads). Disable to route reads through
+  /// the I/O-node buffer caches — the configuration where SERVER-side
+  /// readahead (UfsParams::readahead_blocks) can act.
+  bool use_fastpath = true;
+  /// Check every byte read against the written pattern (slower; tests on).
+  bool verify = false;
+};
+
+/// Deterministic file content so any data path bug is observable: byte at
+/// offset `off` of the file tagged `tag` mixes both values.
+inline std::byte pattern_byte(std::uint64_t tag, std::uint64_t off) {
+  const std::uint64_t x = (tag * 0x9e3779b97f4a7c15ull) ^ (off * 0xbf58476d1ce4e5b9ull);
+  return static_cast<std::byte>((x >> 32) & 0xff);
+}
+
+void fill_pattern(std::uint64_t tag, FileOffset start, std::span<std::byte> out);
+
+/// Index of the first mismatching byte, or npos when clean.
+std::size_t find_pattern_mismatch(std::uint64_t tag, FileOffset start,
+                                  std::span<const std::byte> data);
+inline constexpr std::size_t kNoMismatch = static_cast<std::size_t>(-1);
+
+}  // namespace ppfs::workload

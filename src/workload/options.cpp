@@ -1,0 +1,177 @@
+#include "workload/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ppfs::workload {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+int parse_int(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for " + flag + ": '" + text + "'");
+  }
+}
+
+double parse_seconds(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size() || v < 0) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad duration for " + flag + ": '" + text + "'");
+  }
+}
+
+}  // namespace
+
+sim::ByteCount parse_size(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty size");
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad size: '" + text + "'");
+  }
+  std::string suffix = upper(text.substr(used));
+  if (suffix == "" || suffix == "B") return v;
+  if (suffix == "K" || suffix == "KB") return v * 1024ull;
+  if (suffix == "M" || suffix == "MB") return v * 1024ull * 1024ull;
+  if (suffix == "G" || suffix == "GB") return v * 1024ull * 1024ull * 1024ull;
+  throw std::invalid_argument("bad size suffix: '" + text + "'");
+}
+
+pfs::IoMode parse_mode(const std::string& text) {
+  std::string t = upper(text);
+  if (t.rfind("M_", 0) != 0) t = "M_" + t;
+  for (auto m : pfs::all_io_modes()) {
+    if (t == pfs::to_string(m)) return m;
+  }
+  throw std::invalid_argument("unknown I/O mode: '" + text + "'");
+}
+
+std::string cli_usage() {
+  return R"(ppfs_run — run one PFS workload on the simulated Paragon and report
+the paper's metrics.
+
+  --mode <M_UNIX|M_ASYNC|M_SYNC|M_RECORD|M_GLOBAL|M_LOG>   (default M_RECORD)
+  --request <size>      per-node request size, e.g. 64K     (default 64K)
+  --file <size>         total file size, e.g. 8M            (default 8M)
+  --delay <seconds>     compute delay between reads         (default 0)
+  --prefetch            enable the client prefetch engine
+  --depth <n>           prefetch depth                      (default 1)
+  --adaptive            enable the adaptive prefetch throttle
+  --compare             run with AND without prefetch, print both
+  --ncompute <n>        compute nodes                       (default 8)
+  --nio <n>             I/O nodes                           (default 8)
+  --sunit <size>        stripe unit                         (default 64K)
+  --sgroup <n>          stripe group width (first n I/O nodes; 0 = all)
+  --scsi16              SCSI-16 I/O nodes (4x bus bandwidth)
+  --elevator            LOOK elevator disk scheduling
+  --buffered            disable Fast Path (reads via server caches)
+  --readahead <n>       server-side readahead blocks        (default 0)
+  --separate-files      each node reads a private file
+  --own-region          M_UNIX/M_ASYNC scan own region instead of interleave
+  --verify              check every byte against the written pattern
+  --help                this text
+)";
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions opt;
+  int sgroup = 0;
+  std::optional<sim::ByteCount> sunit;
+
+  auto need_value = [&](std::size_t i, const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size()) throw std::invalid_argument("missing value for " + flag);
+    return args[i + 1];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opt.show_help = true;
+    } else if (a == "--mode") {
+      opt.workload.mode = parse_mode(need_value(i, a));
+      ++i;
+    } else if (a == "--request") {
+      opt.workload.request_size = parse_size(need_value(i, a));
+      ++i;
+    } else if (a == "--file") {
+      opt.workload.file_size = parse_size(need_value(i, a));
+      ++i;
+    } else if (a == "--delay") {
+      opt.workload.compute_delay = parse_seconds(a, need_value(i, a));
+      ++i;
+    } else if (a == "--prefetch") {
+      opt.workload.prefetch = true;
+    } else if (a == "--depth") {
+      opt.workload.prefetch_cfg.depth =
+          static_cast<std::size_t>(parse_int(a, need_value(i, a)));
+      ++i;
+    } else if (a == "--adaptive") {
+      opt.workload.prefetch_cfg.adaptive = true;
+    } else if (a == "--compare") {
+      opt.compare = true;
+    } else if (a == "--ncompute") {
+      opt.machine.ncompute = parse_int(a, need_value(i, a));
+      ++i;
+    } else if (a == "--nio") {
+      opt.machine.nio = parse_int(a, need_value(i, a));
+      ++i;
+    } else if (a == "--sunit") {
+      sunit = parse_size(need_value(i, a));
+      ++i;
+    } else if (a == "--sgroup") {
+      sgroup = parse_int(a, need_value(i, a));
+      ++i;
+    } else if (a == "--scsi16") {
+      opt.machine.raid = hw::RaidParams::scsi16();
+    } else if (a == "--elevator") {
+      opt.machine.raid.disk.scheduler = hw::DiskSched::kElevator;
+    } else if (a == "--buffered") {
+      opt.workload.use_fastpath = false;
+    } else if (a == "--readahead") {
+      opt.machine.pfs.ufs.readahead_blocks =
+          static_cast<std::uint32_t>(parse_int(a, need_value(i, a)));
+      ++i;
+    } else if (a == "--separate-files") {
+      opt.workload.separate_files = true;
+    } else if (a == "--own-region") {
+      opt.workload.pattern = AccessPattern::kOwnRegion;
+    } else if (a == "--verify") {
+      opt.workload.verify = true;
+    } else {
+      throw std::invalid_argument("unknown flag: '" + a + "' (try --help)");
+    }
+  }
+
+  if (sunit || sgroup > 0) {
+    pfs::StripeAttrs attrs;
+    attrs.stripe_unit = sunit.value_or(64 * 1024);
+    attrs.stripe_group.clear();
+    const int width = sgroup > 0 ? sgroup : opt.machine.nio;
+    if (width > opt.machine.nio) {
+      throw std::invalid_argument("--sgroup exceeds --nio");
+    }
+    for (int k = 0; k < width; ++k) attrs.stripe_group.push_back(k);
+    opt.workload.attrs = attrs;
+  }
+  return opt;
+}
+
+}  // namespace ppfs::workload

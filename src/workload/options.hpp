@@ -1,0 +1,38 @@
+// Command-line option parsing for the ppfs_run tool (and anything else
+// that wants to construct experiment specs from strings). Kept in the
+// library so it is unit-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace ppfs::workload {
+
+struct CliOptions {
+  MachineSpec machine;
+  WorkloadSpec workload;
+  bool show_help = false;
+  /// Runs both with and without prefetching and prints the comparison.
+  bool compare = false;
+};
+
+/// Parse "64K", "8M", "1G", or plain bytes. Throws std::invalid_argument
+/// on malformed input.
+sim::ByteCount parse_size(const std::string& text);
+
+/// Parse an I/O mode by paper name ("M_RECORD", case-insensitive, with or
+/// without the "M_" prefix).
+pfs::IoMode parse_mode(const std::string& text);
+
+/// Parse argv into options. Throws std::invalid_argument with a message
+/// naming the offending flag.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+}  // namespace ppfs::workload

@@ -1,0 +1,78 @@
+#include "workload/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppfs::workload {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: cell count does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+std::string fmt_bytes(sim::ByteCount bytes) {
+  const sim::ByteCount kb = 1024, mb = 1024 * 1024, gb = 1024ull * 1024 * 1024;
+  std::ostringstream out;
+  if (bytes >= gb && bytes % gb == 0) {
+    out << bytes / gb << "GB";
+  } else if (bytes >= mb && bytes % mb == 0) {
+    out << bytes / mb << "MB";
+  } else if (bytes >= kb && bytes % kb == 0) {
+    out << bytes / kb << "KB";
+  } else {
+    out << bytes << "B";
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string fmt_time(sim::SimTime t) { return fmt_double(t, 3) + "s"; }
+
+std::string fmt_percent(double fraction) { return fmt_double(fraction * 100.0, 1) + "%"; }
+
+}  // namespace ppfs::workload

@@ -1,0 +1,38 @@
+// Text-table rendering for the benchmark harnesses — the benches print
+// rows shaped like the paper's tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ppfs::workload {
+
+/// Right-aligned fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal rule before the next row.
+  void add_rule();
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+/// "64KB", "1MB", "8MB" — the paper's size notation (binary units).
+std::string fmt_bytes(sim::ByteCount bytes);
+/// Fixed-precision double.
+std::string fmt_double(double v, int precision = 2);
+/// Seconds with ms precision, e.g. "0.412s".
+std::string fmt_time(sim::SimTime t);
+/// Percentage, e.g. "87.5%".
+std::string fmt_percent(double fraction);
+
+}  // namespace ppfs::workload

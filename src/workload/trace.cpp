@@ -1,0 +1,313 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/machine.hpp"
+#include "pfs/client.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "sim/when_all.hpp"
+#include "workload/generator.hpp"
+
+namespace ppfs::workload {
+
+namespace {
+
+using pfs::IoMode;
+using sim::ByteCount;
+using sim::FileOffset;
+using sim::SimTime;
+using sim::Task;
+
+/// Smallest file covering every access of the trace (pointer semantics
+/// simulated per mode; dynamic-claim modes get the sum of all reads).
+ByteCount required_file_size(const AccessTrace& t) {
+  std::vector<FileOffset> ptr(t.ranks, 0);
+  FileOffset max_end = 0;
+  ByteCount claim_total = 0;
+  for (const TraceOp& op : t.ops) {
+    if (op.rank < 0 || op.rank >= t.ranks) {
+      throw std::invalid_argument("trace: rank out of range");
+    }
+    if (op.kind == TraceOp::Kind::kSeek) {
+      ptr[op.rank] = op.offset;
+      continue;
+    }
+    claim_total += op.length;
+    FileOffset off = ptr[op.rank];
+    if (t.mode == IoMode::kRecord) {
+      off += static_cast<FileOffset>(op.rank) * op.length;
+      ptr[op.rank] += static_cast<FileOffset>(t.ranks) * op.length;
+    } else {
+      ptr[op.rank] += op.length;
+    }
+    max_end = std::max<FileOffset>(max_end, off + op.length);
+  }
+  if (t.mode == IoMode::kLog || t.mode == IoMode::kSync) {
+    max_end = std::max<FileOffset>(max_end, claim_total);
+  }
+  return max_end;
+}
+
+bool offsets_are_static(IoMode mode) {
+  return mode == IoMode::kRecord || mode == IoMode::kUnix || mode == IoMode::kAsync ||
+         mode == IoMode::kGlobal;
+}
+
+}  // namespace
+
+std::string AccessTrace::serialize() const {
+  std::ostringstream out;
+  out << "# ppfs-trace v1\n";
+  out << "mode " << pfs::to_string(mode) << "\n";
+  out << "ranks " << ranks << "\n";
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kSeek) {
+      out << op.rank << " seek " << op.offset << "\n";
+    } else {
+      out << op.rank << " read " << op.length << " " << op.think << "\n";
+    }
+  }
+  return out.str();
+}
+
+AccessTrace AccessTrace::parse(const std::string& text) {
+  AccessTrace t;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_mode = false, saw_ranks = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("trace line " + std::to_string(lineno) + ": " + why);
+    };
+    if (first == "mode") {
+      std::string m;
+      if (!(ls >> m)) fail("missing mode name");
+      bool found = false;
+      for (auto mm : pfs::all_io_modes()) {
+        if (m == pfs::to_string(mm)) {
+          t.mode = mm;
+          found = true;
+        }
+      }
+      if (!found) fail("unknown mode " + m);
+      saw_mode = true;
+    } else if (first == "ranks") {
+      if (!(ls >> t.ranks) || t.ranks <= 0) fail("bad rank count");
+      saw_ranks = true;
+    } else {
+      TraceOp op;
+      try {
+        op.rank = std::stoi(first);
+      } catch (const std::exception&) {
+        fail("expected rank number, got '" + first + "'");
+      }
+      std::string verb;
+      if (!(ls >> verb)) fail("missing op verb");
+      if (verb == "read") {
+        op.kind = TraceOp::Kind::kRead;
+        if (!(ls >> op.length)) fail("read: missing length");
+        if (!(ls >> op.think)) op.think = 0;
+        if (op.length == 0) fail("read: zero length");
+      } else if (verb == "seek") {
+        op.kind = TraceOp::Kind::kSeek;
+        if (!(ls >> op.offset)) fail("seek: missing offset");
+      } else {
+        fail("unknown op '" + verb + "'");
+      }
+      t.ops.push_back(op);
+    }
+  }
+  if (!saw_mode || !saw_ranks) {
+    throw std::invalid_argument("trace: missing 'mode' or 'ranks' header");
+  }
+  for (const TraceOp& op : t.ops) {
+    if (op.rank >= t.ranks) throw std::invalid_argument("trace: rank out of range");
+  }
+  return t;
+}
+
+ByteCount AccessTrace::max_bytes_per_rank() const {
+  std::vector<ByteCount> per(ranks, 0);
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kRead) per[op.rank] += op.length;
+  }
+  return *std::max_element(per.begin(), per.end());
+}
+
+AccessTrace AccessTrace::sequential(IoMode mode, int ranks, int reads_per_rank,
+                                    ByteCount len, SimTime think) {
+  AccessTrace t;
+  t.mode = mode;
+  t.ranks = ranks;
+  for (int k = 0; k < reads_per_rank; ++k) {
+    for (int r = 0; r < ranks; ++r) {
+      t.ops.push_back(TraceOp{r, TraceOp::Kind::kRead, len, 0, think});
+    }
+  }
+  return t;
+}
+
+AccessTrace AccessTrace::strided(int ranks, int reads_per_rank, ByteCount len,
+                                 ByteCount stride, SimTime think) {
+  AccessTrace t;
+  t.mode = IoMode::kAsync;
+  t.ranks = ranks;
+  for (int k = 0; k < reads_per_rank; ++k) {
+    for (int r = 0; r < ranks; ++r) {
+      const FileOffset pos =
+          static_cast<FileOffset>(r) * reads_per_rank * stride + static_cast<FileOffset>(k) * stride;
+      t.ops.push_back(TraceOp{r, TraceOp::Kind::kSeek, 0, pos, 0});
+      t.ops.push_back(TraceOp{r, TraceOp::Kind::kRead, len, 0, think});
+    }
+  }
+  return t;
+}
+
+namespace {
+
+struct RankOutcome {
+  SimTime start = 0;
+  SimTime end = 0;
+  ByteCount bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t verify_failures = 0;
+};
+
+Task<void> rank_replay(sim::Simulation& sim, pfs::PfsClient& client,
+                       std::vector<TraceOp> my_ops, IoMode mode, sim::Barrier& start_line,
+                       bool verify, RankOutcome& out) {
+  const int fd = co_await client.open("trace", mode);
+  co_await start_line.arrive_and_wait();
+  out.start = sim.now();
+  out.end = sim.now();
+  std::vector<std::byte> buf;
+  for (const TraceOp& op : my_ops) {
+    if (op.kind == TraceOp::Kind::kSeek) {
+      co_await client.seek(fd, op.offset);
+      continue;
+    }
+    buf.resize(op.length);
+    const FileOffset expect = mode == IoMode::kRecord
+                                  ? client.tell(fd) +
+                                        static_cast<FileOffset>(client.rank()) * op.length
+                                  : client.tell(fd);
+    const ByteCount got = co_await client.read(fd, buf);
+    out.bytes += got;
+    ++out.reads;
+    out.end = sim.now();
+    if (verify && got > 0 && offsets_are_static(mode) && mode != IoMode::kGlobal) {
+      if (find_pattern_mismatch(1, expect,
+                                std::span<const std::byte>(buf).subspan(0, got)) !=
+          kNoMismatch) {
+        ++out.verify_failures;
+      }
+    }
+    if (op.think > 0) co_await sim.delay(op.think);
+  }
+  client.close(fd);
+}
+
+}  // namespace
+
+TraceReplayResult replay_trace(const MachineSpec& mspec, const AccessTrace& trace,
+                               bool prefetch_on, prefetch::PrefetchConfig prefetch_cfg,
+                               bool verify) {
+  if (trace.ranks > mspec.ncompute) {
+    throw std::invalid_argument("replay_trace: trace has more ranks than compute nodes");
+  }
+  const ByteCount file_size = required_file_size(trace);
+  if (file_size == 0) throw std::invalid_argument("replay_trace: empty trace");
+
+  sim::Simulation sim;
+  hw::MachineConfig mcfg = hw::MachineConfig::paragon(mspec.ncompute, mspec.nio, mspec.raid);
+  mcfg.compute_cpu = mspec.compute_cpu;
+  mcfg.io_cpu = mspec.io_cpu;
+  hw::Machine machine(sim, mcfg);
+  pfs::PfsFileSystem fs(machine, mspec.pfs);
+  fs.create("trace", fs.default_attrs());
+
+  std::vector<std::unique_ptr<pfs::PfsClient>> clients;
+  std::vector<std::unique_ptr<prefetch::PrefetchEngine>> engines;
+  for (int r = 0; r < trace.ranks; ++r) {
+    clients.push_back(std::make_unique<pfs::PfsClient>(fs, r, r, trace.ranks));
+    if (prefetch_on) {
+      engines.push_back(prefetch::attach_prefetcher(*clients[r], prefetch_cfg));
+    }
+  }
+
+  // Populate with the pattern (tag 1).
+  {
+    bool done = false;
+    sim.spawn([](pfs::PfsClient& c, ByteCount size, bool& flag) -> Task<void> {
+      const int fd = co_await c.open("trace", IoMode::kAsync);
+      std::vector<std::byte> chunk(std::min<ByteCount>(size, 1024 * 1024));
+      for (ByteCount off = 0; off < size; off += chunk.size()) {
+        const ByteCount n = std::min<ByteCount>(chunk.size(), size - off);
+        fill_pattern(1, off, std::span(chunk).subspan(0, n));
+        co_await c.write(fd, std::span<const std::byte>(chunk).subspan(0, n));
+      }
+      c.close(fd);
+      flag = true;
+    }(*clients[0], file_size, done));
+    sim.run();
+    if (!done) throw std::runtime_error("replay_trace: population deadlocked");
+  }
+
+  std::vector<SimTime> base_read_time(trace.ranks);
+  for (int r = 0; r < trace.ranks; ++r) base_read_time[r] = clients[r]->stats().read_time;
+
+  // Split ops per rank, preserving order.
+  std::vector<std::vector<TraceOp>> per_rank(trace.ranks);
+  for (const TraceOp& op : trace.ops) per_rank[op.rank].push_back(op);
+
+  sim::Barrier start_line(sim, trace.ranks);
+  std::vector<RankOutcome> outcomes(trace.ranks);
+  for (int r = 0; r < trace.ranks; ++r) {
+    sim.spawn(rank_replay(sim, *clients[r], per_rank[r], trace.mode, start_line, verify,
+                          outcomes[r]));
+  }
+  sim.run();
+
+  TraceReplayResult res;
+  SimTime t0 = sim::kTimeInfinity, t1 = 0;
+  for (int r = 0; r < trace.ranks; ++r) {
+    res.total_bytes += outcomes[r].bytes;
+    res.reads += outcomes[r].reads;
+    res.verify_failures += outcomes[r].verify_failures;
+    t0 = std::min(t0, outcomes[r].start);
+    t1 = std::max(t1, outcomes[r].end);
+    res.max_node_read_time = std::max(
+        res.max_node_read_time, clients[r]->stats().read_time - base_read_time[r]);
+    if (prefetch_on) {
+      const auto& st = engines[r]->stats();
+      res.prefetch.issued += st.issued;
+      res.prefetch.hits_ready += st.hits_ready;
+      res.prefetch.hits_in_flight += st.hits_in_flight;
+      res.prefetch.misses += st.misses;
+      res.prefetch.stale_discarded += st.stale_discarded;
+      res.prefetch.wasted += st.wasted;
+      res.prefetch.throttled_skips += st.throttled_skips;
+      res.prefetch.bytes_prefetched += st.bytes_prefetched;
+      res.prefetch.bytes_served += st.bytes_served;
+      res.prefetch.wait_time += st.wait_time;
+    }
+  }
+  res.wall_elapsed = t1 - t0;
+  res.observed_read_bw_mbs =
+      sim::megabytes_per_second(res.total_bytes, res.max_node_read_time);
+  return res;
+}
+
+}  // namespace ppfs::workload

@@ -1,0 +1,224 @@
+// Unit tests for the disk and RAID models.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "hw/raid.hpp"
+#include "sim/simulation.hpp"
+#include "sim/when_all.hpp"
+
+namespace ppfs::hw {
+namespace {
+
+using sim::Simulation;
+using sim::SimTime;
+using sim::Task;
+
+SimTime timed_transfer(Simulation& sim, Disk& d, std::uint64_t lba, sim::ByteCount bytes) {
+  SimTime elapsed = -1;
+  sim.spawn([](Simulation& s, Disk& disk, std::uint64_t l, sim::ByteCount b,
+               SimTime& out) -> Task<void> {
+    const SimTime start = s.now();
+    co_await disk.transfer(l, b, /*write=*/false);
+    out = s.now() - start;
+  }(sim, d, lba, bytes, elapsed));
+  sim.run();
+  return elapsed;
+}
+
+TEST(DiskParams, GeometryDerived) {
+  DiskParams p = DiskParams::paragon_era();
+  EXPECT_GT(p.capacity_bytes(), 1'000'000'000u);  // ~1.3 GB drive
+  EXPECT_NEAR(p.rotation_period_s(), 60.0 / 4002.0, 1e-12);
+  // Media rate = one track per revolution.
+  EXPECT_NEAR(p.media_rate_bytes_per_s(), 72 * 512 / (60.0 / 4002.0), 1e-6);
+}
+
+TEST(DiskParams, SeekCurveMonotone) {
+  DiskParams p;
+  EXPECT_EQ(p.seek_time_s(0), 0.0);
+  double prev = 0.0;
+  for (std::uint64_t d : {1u, 2u, 10u, 100u, 500u, 1000u, 1900u}) {
+    const double t = p.seek_time_s(d);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Full-stroke seek lands in the tens of milliseconds for this era.
+  EXPECT_GT(p.seek_time_s(p.cylinders - 1), 0.005);
+  EXPECT_LT(p.seek_time_s(p.cylinders - 1), 0.050);
+}
+
+TEST(Disk, FirstAccessPaysSeekAndRotation) {
+  Simulation sim;
+  Disk d(sim, "d0", DiskParams::paragon_era());
+  const auto t = timed_transfer(sim, d, 500'000, 64 * 1024);
+  const DiskParams p = d.params();
+  const double transfer_only =
+      p.controller_overhead_s + 64.0 * 1024 / p.media_rate_bytes_per_s();
+  EXPECT_GT(t, transfer_only);  // must include mechanical latency
+  EXPECT_EQ(d.ops(), 1u);
+  EXPECT_EQ(d.bytes_transferred(), 64u * 1024);
+}
+
+TEST(Disk, SequentialReadSkipsMechanicalLatency) {
+  Simulation sim;
+  Disk d(sim, "d0", DiskParams::paragon_era());
+  const auto first = timed_transfer(sim, d, 1000, 64 * 1024);
+  // Continues exactly where the previous transfer ended: track-cache hit.
+  const std::uint64_t next_lba = 1000 + 64 * 1024 / 512;
+  const auto second = timed_transfer(sim, d, next_lba, 64 * 1024);
+  EXPECT_LT(second, first);
+  const DiskParams p = d.params();
+  EXPECT_NEAR(second, p.controller_overhead_s + 64.0 * 1024 / p.media_rate_bytes_per_s(),
+              1e-9);
+  EXPECT_EQ(d.sequential_hits(), 1u);
+}
+
+TEST(Disk, AccessPastEndThrows) {
+  Simulation sim;
+  Disk d(sim, "d0", DiskParams::paragon_era());
+  bool threw = false;
+  sim.spawn([](Disk& disk, bool& flag) -> Task<void> {
+    try {
+      co_await disk.transfer(disk.params().total_sectors(), 512, false);
+    } catch (const std::out_of_range&) {
+      flag = true;
+    }
+  }(d, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Disk, ConcurrentRequestsSerializeOnChannel) {
+  Simulation sim;
+  Disk d(sim, "d0", DiskParams::paragon_era());
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulation& s, Disk& disk, std::vector<SimTime>& out,
+                 std::uint64_t lba) -> Task<void> {
+      co_await disk.transfer(lba, 32 * 1024, false);
+      out.push_back(s.now());
+    }(sim, d, completions, 10'000ull * (i + 1)));
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_LT(completions[0], completions[1]);
+  EXPECT_LT(completions[1], completions[2]);
+  EXPECT_NEAR(d.busy_time(), completions[2], 1e-9);  // channel never idle
+}
+
+TEST(Disk, LargerTransfersTakeLonger) {
+  Simulation sim;
+  Disk d(sim, "d0", DiskParams::paragon_era());
+  const auto small = timed_transfer(sim, d, 0, 8 * 1024);
+  Simulation sim2;
+  Disk d2(sim2, "d1", DiskParams::paragon_era());
+  const auto large = timed_transfer(sim2, d2, 0, 1024 * 1024);
+  EXPECT_GT(large, small);
+}
+
+TEST(Raid, PresetsDifferOnlyInBusBandwidth) {
+  const auto s8 = RaidParams::scsi8();
+  const auto s16 = RaidParams::scsi16();
+  EXPECT_DOUBLE_EQ(s16.bus_bandwidth, 4.0 * s8.bus_bandwidth);
+  EXPECT_EQ(s8.data_disks, s16.data_disks);
+}
+
+TEST(Raid, HasParityMember) {
+  Simulation sim;
+  RaidArray r(sim, "r0", RaidParams::scsi8());
+  EXPECT_EQ(r.member_count(), 5u);  // 4 data + parity
+  EXPECT_EQ(r.capacity_bytes(), r.member(0).params().capacity_bytes() * 4);
+}
+
+TEST(Raid, ReadLeavesParityIdle) {
+  Simulation sim;
+  RaidArray r(sim, "r0", RaidParams::scsi8());
+  sim.spawn([](RaidArray& raid) -> Task<void> {
+    co_await raid.transfer(0, 256 * 1024, /*write=*/false);
+  }(r));
+  sim.run();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(r.member(i).ops(), 1u);
+  EXPECT_EQ(r.member(4).ops(), 0u);  // parity
+}
+
+TEST(Raid, WriteEngagesParity) {
+  Simulation sim;
+  RaidArray r(sim, "r0", RaidParams::scsi8());
+  sim.spawn([](RaidArray& raid) -> Task<void> {
+    co_await raid.transfer(0, 256 * 1024, /*write=*/true);
+  }(r));
+  sim.run();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(r.member(i).ops(), 1u);
+}
+
+TEST(Raid, StripingBeatsSingleDiskOnLargeTransfers) {
+  // A large read through the array should be faster than through one member
+  // with the same parameters (4 spindles stream in parallel).
+  const sim::ByteCount bytes = 2 * 1024 * 1024;
+  Simulation sim_raid;
+  RaidArray r(sim_raid, "r0", RaidParams::scsi8());
+  SimTime t_raid = -1;
+  sim_raid.spawn([](Simulation& s, RaidArray& raid, sim::ByteCount b, SimTime& out) -> Task<void> {
+    const SimTime start = s.now();
+    co_await raid.transfer(0, b, false);
+    out = s.now() - start;
+  }(sim_raid, r, bytes, t_raid));
+  sim_raid.run();
+
+  Simulation sim_disk;
+  Disk d(sim_disk, "d0", DiskParams::paragon_era());
+  const auto t_disk = timed_transfer(sim_disk, d, 0, bytes);
+  EXPECT_LT(t_raid, t_disk);
+}
+
+TEST(Raid, BusCapsThroughput) {
+  // With a huge transfer, elapsed time must be at least bytes/bus_bandwidth.
+  const sim::ByteCount bytes = 8 * 1024 * 1024;
+  Simulation sim;
+  RaidArray r(sim, "r0", RaidParams::scsi8());
+  SimTime t = -1;
+  sim.spawn([](Simulation& s, RaidArray& raid, sim::ByteCount b, SimTime& out) -> Task<void> {
+    const SimTime start = s.now();
+    co_await raid.transfer(0, b, false);
+    out = s.now() - start;
+  }(sim, r, bytes, t));
+  sim.run();
+  EXPECT_GE(t, static_cast<double>(bytes) / r.params().bus_bandwidth);
+}
+
+TEST(Raid, Scsi16FasterThanScsi8ForBigTransfers) {
+  const sim::ByteCount bytes = 8 * 1024 * 1024;
+  auto run_one = [&](RaidParams p) {
+    Simulation sim;
+    RaidArray r(sim, "r", p);
+    SimTime t = -1;
+    sim.spawn([](Simulation& s, RaidArray& raid, sim::ByteCount b, SimTime& out) -> Task<void> {
+      const SimTime start = s.now();
+      co_await raid.transfer(0, b, false);
+      out = s.now() - start;
+    }(sim, r, bytes, t));
+    sim.run();
+    return t;
+  };
+  EXPECT_LT(run_one(RaidParams::scsi16()), run_one(RaidParams::scsi8()));
+}
+
+TEST(Raid, ZeroByteTransferCompletesInstantly) {
+  Simulation sim;
+  RaidArray r(sim, "r0", RaidParams::scsi8());
+  SimTime t = -1;
+  sim.spawn([](Simulation& s, RaidArray& raid, SimTime& out) -> Task<void> {
+    const SimTime start = s.now();
+    co_await raid.transfer(0, 0, false);
+    out = s.now() - start;
+  }(sim, r, t));
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_EQ(r.ops(), 0u);
+}
+
+}  // namespace
+}  // namespace ppfs::hw

@@ -1,0 +1,209 @@
+// Paper-shape regression tests: small, fast versions of every experiment,
+// asserting the QUALITATIVE results the paper reports (orderings,
+// crossovers, win/no-win regimes). These are the guardrails that keep
+// refactoring from silently un-reproducing the paper.
+#include <gtest/gtest.h>
+
+#include "workload/experiment.hpp"
+
+namespace ppfs::workload {
+namespace {
+
+using pfs::IoMode;
+
+MachineSpec paper_machine() { return MachineSpec{}; }  // 8C + 8IO, SCSI-8
+
+double bw(const Experiment& e, WorkloadSpec w) { return e.run(w).observed_read_bw_mbs; }
+
+WorkloadSpec record_spec(sim::ByteCount req, int rounds = 4) {
+  WorkloadSpec w;
+  w.mode = IoMode::kRecord;
+  w.request_size = req;
+  w.file_size = req * 8 * rounds;
+  return w;
+}
+
+// --- Figure 2 shapes ---
+
+TEST(PaperFig2, AtomicModesAreSlowestAtSmallRequests) {
+  Experiment e(paper_machine());
+  auto spec = [&](IoMode m) {
+    WorkloadSpec w;
+    w.mode = m;
+    w.request_size = 64 * 1024;
+    w.file_size = 2 * 1024 * 1024;
+    return w;
+  };
+  const double unix_bw = bw(e, spec(IoMode::kUnix));
+  const double log_bw = bw(e, spec(IoMode::kLog));
+  const double record_bw = bw(e, spec(IoMode::kRecord));
+  const double async_bw = bw(e, spec(IoMode::kAsync));
+  // Serialized atomic modes at least 3x below the uncoordinated ones.
+  EXPECT_LT(unix_bw * 3, record_bw);
+  EXPECT_LT(log_bw * 3, record_bw);
+  // M_RECORD ~ M_ASYNC (within 10%).
+  EXPECT_NEAR(record_bw / async_bw, 1.0, 0.1);
+}
+
+TEST(PaperFig2, SyncTrailsRecordSlightly) {
+  Experiment e(paper_machine());
+  WorkloadSpec sync_w = record_spec(64 * 1024);
+  sync_w.mode = IoMode::kSync;
+  sync_w.file_size = 2 * 1024 * 1024;
+  WorkloadSpec rec_w = record_spec(64 * 1024);
+  rec_w.file_size = 2 * 1024 * 1024;
+  const double sync_bw = bw(e, sync_w);
+  const double rec_bw = bw(e, rec_w);
+  EXPECT_LE(sync_bw, rec_bw * 1.02);   // never meaningfully above
+  EXPECT_GT(sync_bw, rec_bw * 0.7);    // but in the same league
+}
+
+TEST(PaperFig2, BandwidthRisesWithRequestSizeForSerializedModes) {
+  Experiment e(paper_machine());
+  auto spec = [&](sim::ByteCount req) {
+    WorkloadSpec w;
+    w.mode = IoMode::kUnix;
+    w.request_size = req;
+    w.file_size = req * 8 * 2;
+    return w;
+  };
+  const double small = bw(e, spec(64 * 1024));
+  const double large = bw(e, spec(1024 * 1024));
+  EXPECT_GT(large, small * 3);  // amortizing the token over big transfers
+}
+
+// --- Table 1 / Table 3 shape: no-delay prefetch is a small loss ---
+
+TEST(PaperTable1, NoDelayPrefetchWithinFivePercentAndNotAWin) {
+  Experiment e(paper_machine());
+  for (sim::ByteCount req : std::vector<sim::ByteCount>{64 * 1024, 256 * 1024}) {
+    auto base = record_spec(req);
+    auto pf = base;
+    pf.prefetch = true;
+    const double off = bw(e, base);
+    const double on = bw(e, pf);
+    EXPECT_LE(on, off * 1.02) << req;         // no significant gain
+    EXPECT_GE(on, off * 0.93) << req;         // and only a small loss
+  }
+}
+
+TEST(PaperTable1, PenaltyLargestAtSmallestRequest) {
+  Experiment e(paper_machine());
+  auto penalty = [&](sim::ByteCount req) {
+    auto base = record_spec(req);
+    auto pf = base;
+    pf.prefetch = true;
+    const double off = bw(e, base);
+    return (off - bw(e, pf)) / off;
+  };
+  EXPECT_GE(penalty(64 * 1024), penalty(512 * 1024) - 0.005);
+}
+
+// --- Table 2 shape: access time grows; 1MB read >> 0.1s-class delays ---
+
+TEST(PaperTable2, AccessTimeMonotoneAndLargeRequestsExceedSmallDelays) {
+  Experiment e(paper_machine());
+  const auto t64 = e.read_access_time(64 * 1024);
+  const auto t512 = e.read_access_time(512 * 1024);
+  const auto t1m = e.read_access_time(1024 * 1024);
+  EXPECT_LT(t64, t512);
+  EXPECT_LT(t512, t1m);
+  EXPECT_GT(t1m, 0.1);   // the paper's point: 0.1s cannot cover a 1MB read
+  EXPECT_LT(t64, 0.05);  // but easily covers a 64KB one
+}
+
+// --- Figure 4 shape: prefetch wins once delay covers the access time ---
+
+TEST(PaperFig4, PrefetchWinsBigWhenDelayCoversAccessTime) {
+  Experiment e(paper_machine());
+  auto base = record_spec(64 * 1024, 8);
+  base.compute_delay = 0.05;  // >> 19ms access time
+  auto pf = base;
+  pf.prefetch = true;
+  EXPECT_GT(bw(e, pf), bw(e, base) * 3.0);
+}
+
+TEST(PaperFig4, CrossoverDelayGrowsWithRequestSize) {
+  Experiment e(paper_machine());
+  auto speedup = [&](sim::ByteCount req, double delay) {
+    auto base = record_spec(req, 8);
+    base.compute_delay = delay;
+    auto pf = base;
+    pf.prefetch = true;
+    return bw(e, pf) / bw(e, base);
+  };
+  // At a 25ms delay, 64KB requests (19ms access) are already winning big;
+  // 256KB requests (70ms access) are not yet.
+  EXPECT_GT(speedup(64 * 1024, 0.025), 2.0);
+  EXPECT_LT(speedup(256 * 1024, 0.025), 1.3);
+  // By 100ms, 256KB wins too.
+  EXPECT_GT(speedup(256 * 1024, 0.1), 1.3);
+}
+
+// --- Figure 5 shape: large requests see no gain in the paper's range ---
+
+TEST(PaperFig5, LargeRequestsNoSignificantGainUpTo100ms) {
+  Experiment e(paper_machine());
+  for (double delay : {0.0, 0.05, 0.1}) {
+    auto base = record_spec(1024 * 1024, 4);
+    base.compute_delay = delay;
+    auto pf = base;
+    pf.prefetch = true;
+    const double ratio = bw(e, pf) / bw(e, base);
+    EXPECT_LT(ratio, 1.15) << "delay " << delay;
+  }
+}
+
+// --- Table 4 shape: stripe group scaling ---
+
+TEST(PaperTable4, EightIoNodesGiveNearLinearSpeedupOverOne) {
+  Experiment e(paper_machine());
+  auto spec = [&](bool narrow) {
+    auto w = record_spec(128 * 1024, 4);
+    w.prefetch = true;
+    pfs::StripeAttrs a;
+    a.stripe_unit = 64 * 1024;
+    if (narrow) {
+      a.stripe_group.assign(8, 0);
+    } else {
+      a.stripe_group = {0, 1, 2, 3, 4, 5, 6, 7};
+    }
+    w.attrs = a;
+    return w;
+  };
+  const double r1 = bw(e, spec(true));
+  const double r8 = bw(e, spec(false));
+  EXPECT_GT(r8 / r1, 4.0);
+  EXPECT_LT(r8 / r1, 9.0);
+}
+
+// --- SCSI-16 claim ---
+
+TEST(PaperScsi16, FourXBusLiftsLargeRequestThroughput) {
+  MachineSpec m8 = paper_machine();
+  MachineSpec m16 = paper_machine();
+  m16.raid = hw::RaidParams::scsi16();
+  Experiment e8(m8), e16(m16);
+  auto w = record_spec(1024 * 1024, 2);
+  EXPECT_GT(bw(e16, w), bw(e8, w) * 1.2);
+}
+
+// --- hit-ratio vs bandwidth: the paper's Section 4 point ---
+
+TEST(PaperSec4, HighHitRatioAloneDoesNotImplyBandwidthGain) {
+  // With no delay the hit ratio is high (in-flight hits) yet bandwidth
+  // does not improve — "although hit ratio serves as a good measure of
+  // performance in a sequential program, in a parallel programming model,
+  // overall read bandwidth ... is a better measure".
+  Experiment e(paper_machine());
+  auto base = record_spec(128 * 1024, 8);
+  auto pf = base;
+  pf.prefetch = true;
+  const auto off = e.run(base);
+  const auto on = e.run(pf);
+  EXPECT_GT(on.prefetch.hit_ratio(), 0.8);
+  EXPECT_LE(on.observed_read_bw_mbs, off.observed_read_bw_mbs * 1.02);
+}
+
+}  // namespace
+}  // namespace ppfs::workload

@@ -1,0 +1,204 @@
+// Unit tests for stripe layout mapping (paper Figure 3) and I/O mode traits
+// (paper Figure 1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pfs/io_mode.hpp"
+#include "pfs/stripe.hpp"
+
+namespace ppfs::pfs {
+namespace {
+
+constexpr ByteCount kSU = 64 * 1024;
+
+StripeAttrs attrs8(ByteCount su = kSU) {
+  StripeAttrs a;
+  a.stripe_unit = su;
+  a.stripe_group = {0, 1, 2, 3, 4, 5, 6, 7};
+  return a;
+}
+
+TEST(StripeLayout, RejectsDegenerateAttrs) {
+  StripeAttrs a;
+  a.stripe_unit = 0;
+  EXPECT_THROW(StripeLayout{a}, std::invalid_argument);
+  StripeAttrs b;
+  b.stripe_group.clear();
+  EXPECT_THROW(StripeLayout{b}, std::invalid_argument);
+}
+
+TEST(StripeLayout, OffsetOwnership) {
+  StripeLayout l(attrs8());
+  EXPECT_EQ(l.io_node_of(0), 0);
+  EXPECT_EQ(l.io_node_of(kSU - 1), 0);
+  EXPECT_EQ(l.io_node_of(kSU), 1);
+  EXPECT_EQ(l.io_node_of(7 * kSU), 7);
+  EXPECT_EQ(l.io_node_of(8 * kSU), 0);  // wraps to second round
+}
+
+TEST(StripeLayout, LocalOffsets) {
+  StripeLayout l(attrs8());
+  EXPECT_EQ(l.local_offset(0), 0u);
+  EXPECT_EQ(l.local_offset(kSU + 5), 5u);          // node 1, round 0
+  EXPECT_EQ(l.local_offset(8 * kSU), kSU);          // node 0, round 1
+  EXPECT_EQ(l.local_offset(9 * kSU + 7), kSU + 7);  // node 1, round 1
+}
+
+TEST(StripeLayout, SingleUnitRequestHitsOneNode) {
+  // Paper Fig 3: "request sizes of 64KB" -> one I/O node per request.
+  StripeLayout l(attrs8());
+  auto reqs = l.map(3 * kSU, kSU);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].io_index, 3);
+  EXPECT_EQ(reqs[0].local_offset, 0u);
+  EXPECT_EQ(reqs[0].length, kSU);
+  ASSERT_EQ(reqs[0].pieces.size(), 1u);
+  EXPECT_EQ(reqs[0].pieces[0].file_offset, 3 * kSU);
+}
+
+TEST(StripeLayout, MultiUnitRequestDeclusters) {
+  // Paper Fig 3: "request sizes of 128KB" -> first su to node k, second to
+  // node k+1.
+  StripeLayout l(attrs8());
+  auto reqs = l.map(0, 2 * kSU);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].io_index, 0);
+  EXPECT_EQ(reqs[1].io_index, 1);
+  EXPECT_EQ(reqs[0].length, kSU);
+  EXPECT_EQ(reqs[1].length, kSU);
+}
+
+TEST(StripeLayout, FullRoundTouchesAllNodesOnce) {
+  StripeLayout l(attrs8());
+  auto reqs = l.map(0, 8 * kSU);
+  ASSERT_EQ(reqs.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(reqs[i].io_index, i);
+    EXPECT_EQ(reqs[i].length, kSU);
+    EXPECT_EQ(reqs[i].local_offset, 0u);
+  }
+}
+
+TEST(StripeLayout, MultiRoundRequestStaysContiguousLocally) {
+  StripeLayout l(attrs8());
+  // 16 units: each node serves 2 units that are CONTIGUOUS in its stripe
+  // file even though they are 8 units apart in file space.
+  auto reqs = l.map(0, 16 * kSU);
+  ASSERT_EQ(reqs.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(reqs[i].length, 2 * kSU);
+    EXPECT_EQ(reqs[i].local_offset, 0u);
+    ASSERT_EQ(reqs[i].pieces.size(), 2u);
+    EXPECT_EQ(reqs[i].pieces[0].file_offset, static_cast<FileOffset>(i) * kSU);
+    EXPECT_EQ(reqs[i].pieces[1].file_offset, static_cast<FileOffset>(i + 8) * kSU);
+  }
+}
+
+TEST(StripeLayout, UnalignedRequestSplitsAtUnitBoundary) {
+  StripeLayout l(attrs8());
+  auto reqs = l.map(kSU / 2, kSU);  // second half of unit 0 + first half of unit 1
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].io_index, 0);
+  EXPECT_EQ(reqs[0].local_offset, kSU / 2);
+  EXPECT_EQ(reqs[0].length, kSU / 2);
+  EXPECT_EQ(reqs[1].io_index, 1);
+  EXPECT_EQ(reqs[1].local_offset, 0u);
+  EXPECT_EQ(reqs[1].length, kSU / 2);
+}
+
+TEST(StripeLayout, SmallRequestWithinOneUnit) {
+  StripeLayout l(attrs8());
+  auto reqs = l.map(2 * kSU + 100, 1000);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].io_index, 2);
+  EXPECT_EQ(reqs[0].local_offset, 100u);
+  EXPECT_EQ(reqs[0].length, 1000u);
+}
+
+TEST(StripeLayout, MapCoversRequestExactly) {
+  StripeLayout l(attrs8(16 * 1024));
+  const FileOffset off = 37 * 1024;
+  const ByteCount len = 555 * 1024;
+  auto reqs = l.map(off, len);
+  ByteCount total = 0;
+  for (const auto& r : reqs) {
+    ByteCount piece_sum = 0;
+    for (const auto& p : r.pieces) {
+      piece_sum += p.length;
+      EXPECT_GE(p.file_offset, off);
+      EXPECT_LE(p.file_offset + p.length, off + len);
+    }
+    EXPECT_EQ(piece_sum, r.length);
+    total += r.length;
+  }
+  EXPECT_EQ(total, len);
+}
+
+TEST(StripeLayout, RepeatedNodeInGroupGetsDistinctSlots) {
+  // Table 4's "striping 8 ways across 1 node".
+  StripeAttrs a;
+  a.stripe_unit = kSU;
+  a.stripe_group.assign(8, 0);
+  StripeLayout l(a);
+  auto reqs = l.map(0, 8 * kSU);
+  ASSERT_EQ(reqs.size(), 8u);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(reqs[s].group_slot, s);
+    EXPECT_EQ(reqs[s].io_index, 0);  // all on node 0
+  }
+}
+
+TEST(StripeLayout, LocalSizesPartitionFileSize) {
+  StripeLayout l(attrs8());
+  for (ByteCount fs : std::vector<ByteCount>{0, 1, kSU - 1, kSU, 8 * kSU, 8 * kSU + 123, 1000 * kSU + 7}) {
+    auto sizes = l.local_sizes(fs);
+    const ByteCount sum = std::accumulate(sizes.begin(), sizes.end(), ByteCount{0});
+    EXPECT_EQ(sum, fs) << "file size " << fs;
+  }
+}
+
+TEST(StripeLayout, SingleNodeGroupIsIdentityMapping) {
+  StripeAttrs a;
+  a.stripe_unit = kSU;
+  a.stripe_group = {0};
+  StripeLayout l(a);
+  auto reqs = l.map(12345, 300000);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].local_offset, 12345u);
+  EXPECT_EQ(reqs[0].length, 300000u);
+}
+
+TEST(IoMode, TraitsMatchPaperTaxonomy) {
+  EXPECT_FALSE(traits(IoMode::kUnix).shared_pointer);
+  EXPECT_TRUE(traits(IoMode::kUnix).atomic);
+  EXPECT_FALSE(traits(IoMode::kAsync).shared_pointer);
+  EXPECT_FALSE(traits(IoMode::kAsync).atomic);
+  EXPECT_TRUE(traits(IoMode::kLog).shared_pointer);
+  EXPECT_FALSE(traits(IoMode::kLog).node_ordered);
+  EXPECT_TRUE(traits(IoMode::kSync).synchronized);
+  EXPECT_FALSE(traits(IoMode::kSync).same_data);
+  EXPECT_TRUE(traits(IoMode::kGlobal).same_data);
+  EXPECT_TRUE(traits(IoMode::kRecord).node_ordered);
+  EXPECT_FALSE(traits(IoMode::kRecord).synchronized);
+  EXPECT_TRUE(traits(IoMode::kRecord).fixed_records);
+}
+
+TEST(IoMode, ModeNumbersMatchParagon) {
+  EXPECT_EQ(static_cast<int>(IoMode::kUnix), 0);
+  EXPECT_EQ(static_cast<int>(IoMode::kAsync), 1);
+  EXPECT_EQ(static_cast<int>(IoMode::kSync), 2);
+  EXPECT_EQ(static_cast<int>(IoMode::kRecord), 3);
+  EXPECT_EQ(static_cast<int>(IoMode::kGlobal), 4);
+  EXPECT_EQ(static_cast<int>(IoMode::kLog), 5);
+}
+
+TEST(IoMode, NamesAndEnumeration) {
+  EXPECT_EQ(to_string(IoMode::kRecord), "M_RECORD");
+  EXPECT_EQ(all_io_modes().size(), 6u);
+  for (auto m : all_io_modes()) EXPECT_FALSE(to_string(m).empty());
+}
+
+}  // namespace
+}  // namespace ppfs::pfs

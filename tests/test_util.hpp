@@ -1,0 +1,57 @@
+// Shared helpers for tests: deterministic byte patterns and a runner that
+// drives one Task<void> to completion on a Simulation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::test {
+
+/// Deterministic content: the byte at absolute file offset `off` of file
+/// `tag` is a mix of both, so any mis-addressed read shows up as a mismatch.
+inline std::byte pattern_byte(std::uint64_t tag, std::uint64_t off) {
+  const std::uint64_t x = (tag * 0x9e3779b97f4a7c15ull) ^ (off * 0xbf58476d1ce4e5b9ull);
+  return static_cast<std::byte>((x >> 32) & 0xff);
+}
+
+inline std::vector<std::byte> make_pattern(std::uint64_t tag, std::uint64_t start,
+                                           std::size_t len) {
+  std::vector<std::byte> v(len);
+  for (std::size_t i = 0; i < len; ++i) v[i] = pattern_byte(tag, start + i);
+  return v;
+}
+
+inline ::testing::AssertionResult check_pattern(std::span<const std::byte> data,
+                                                std::uint64_t tag, std::uint64_t start) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(tag, start + i)) {
+      return ::testing::AssertionFailure()
+             << "pattern mismatch at offset " << start + i << " (index " << i << "): got "
+             << static_cast<int>(data[i]) << " want "
+             << static_cast<int>(pattern_byte(tag, start + i));
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Run a single task to completion; fails the test if the simulation ends
+/// with the task still blocked.
+inline void run_task(sim::Simulation& sim, sim::Task<void> t) {
+  bool finished = false;
+  sim.spawn([](sim::Task<void> inner, bool& done) -> sim::Task<void> {
+    co_await std::move(inner);
+    done = true;
+  }(std::move(t), finished));
+  sim.run();
+  ASSERT_TRUE(finished) << "task did not complete (deadlock in the model?)";
+}
+
+}  // namespace ppfs::test

@@ -1,0 +1,96 @@
+// ppfs_run: run any single workload configuration on the simulated
+// Paragon from the command line, printing the paper's metrics.
+//
+//   $ ppfs_run --mode M_RECORD --request 256K --file 16M --delay 0.05 --compare
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "workload/options.hpp"
+#include "workload/report.hpp"
+
+using namespace ppfs;
+using namespace ppfs::workload;
+
+namespace {
+
+void print_result(const char* label, const ExperimentResult& r) {
+  std::printf("%-16s reads=%llu bytes=%s wall=%s\n", label,
+              (unsigned long long)r.reads, fmt_bytes(r.total_bytes).c_str(),
+              fmt_time(r.wall_elapsed).c_str());
+  std::printf("  observed read B/W %8.2f MB/s   (max node read time %s)\n",
+              r.observed_read_bw_mbs, fmt_time(r.max_node_read_time).c_str());
+  std::printf("  wall-clock  B/W   %8.2f MB/s   mean read call %s\n", r.wall_bw_mbs,
+              fmt_time(r.mean_read_call_time).c_str());
+  auto lat = r.read_latencies;  // copy: percentile() sorts
+  std::printf("  read latency      p50 %s  p95 %s  max %s\n", fmt_time(lat.median()).c_str(),
+              fmt_time(lat.percentile(95)).c_str(), fmt_time(lat.max()).c_str());
+  if (r.spec.verify) {
+    std::printf("  verification: %s\n",
+                r.verify_failures == 0 ? "all bytes correct" : "FAILURES DETECTED");
+  }
+  if (r.prefetch.issued > 0 || r.spec.prefetch) {
+    const auto& p = r.prefetch;
+    std::printf("  prefetch: issued=%llu ready=%llu in-flight=%llu miss=%llu stale=%llu "
+                "wasted=%llu skips=%llu hit=%.1f%% wait=%s\n",
+                (unsigned long long)p.issued, (unsigned long long)p.hits_ready,
+                (unsigned long long)p.hits_in_flight, (unsigned long long)p.misses,
+                (unsigned long long)p.stale_discarded, (unsigned long long)p.wasted,
+                (unsigned long long)p.throttled_skips, p.hit_ratio() * 100.0,
+                fmt_time(p.wait_time).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  CliOptions opt;
+  try {
+    opt = parse_cli(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (opt.show_help) {
+    std::cout << cli_usage();
+    return 0;
+  }
+
+  try {
+    Experiment exp(opt.machine);
+    std::printf("machine: %d compute + %d I/O nodes, %s, %s scheduling\n",
+                opt.machine.ncompute, opt.machine.nio,
+                opt.machine.raid.bus_bandwidth > 8e6 ? "SCSI-16" : "SCSI-8",
+                opt.machine.raid.disk.scheduler == hw::DiskSched::kElevator ? "elevator"
+                                                                            : "FIFO");
+    std::printf("workload: %s, request %s, file %s, delay %.3fs%s%s\n\n",
+                std::string(pfs::to_string(opt.workload.mode)).c_str(),
+                fmt_bytes(opt.workload.request_size).c_str(),
+                fmt_bytes(opt.workload.file_size).c_str(), opt.workload.compute_delay,
+                opt.workload.separate_files ? ", separate files" : "",
+                opt.workload.use_fastpath ? "" : ", buffered");
+
+    if (opt.compare) {
+      auto off = opt.workload;
+      off.prefetch = false;
+      auto on = opt.workload;
+      on.prefetch = true;
+      const auto r_off = exp.run(off);
+      const auto r_on = exp.run(on);
+      print_result("no prefetch:", r_off);
+      std::printf("\n");
+      print_result("prefetch:", r_on);
+      std::printf("\nspeedup (observed read B/W): %.2fx\n",
+                  r_on.observed_read_bw_mbs / r_off.observed_read_bw_mbs);
+    } else {
+      const auto r = exp.run(opt.workload);
+      print_result(opt.workload.prefetch ? "prefetch:" : "no prefetch:", r);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
