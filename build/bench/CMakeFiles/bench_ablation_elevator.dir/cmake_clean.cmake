@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elevator.dir/bench_ablation_elevator.cpp.o"
+  "CMakeFiles/bench_ablation_elevator.dir/bench_ablation_elevator.cpp.o.d"
+  "bench_ablation_elevator"
+  "bench_ablation_elevator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_modes.cpp" "bench/CMakeFiles/bench_ablation_modes.dir/bench_ablation_modes.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_modes.dir/bench_ablation_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ppfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/ppfs_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/ppfs_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ppfs_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

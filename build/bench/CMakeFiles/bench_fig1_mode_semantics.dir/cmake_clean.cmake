@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mode_semantics.dir/bench_fig1_mode_semantics.cpp.o"
+  "CMakeFiles/bench_fig1_mode_semantics.dir/bench_fig1_mode_semantics.cpp.o.d"
+  "bench_fig1_mode_semantics"
+  "bench_fig1_mode_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mode_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_declustering.dir/bench_fig3_declustering.cpp.o"
+  "CMakeFiles/bench_fig3_declustering.dir/bench_fig3_declustering.cpp.o.d"
+  "bench_fig3_declustering"
+  "bench_fig3_declustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_declustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

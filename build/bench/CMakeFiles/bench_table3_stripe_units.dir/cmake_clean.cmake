@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stripe_units.dir/bench_table3_stripe_units.cpp.o"
+  "CMakeFiles/bench_table3_stripe_units.dir/bench_table3_stripe_units.cpp.o.d"
+  "bench_table3_stripe_units"
+  "bench_table3_stripe_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stripe_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_matrix.dir/balanced_matrix.cpp.o"
+  "CMakeFiles/balanced_matrix.dir/balanced_matrix.cpp.o.d"
+  "balanced_matrix"
+  "balanced_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_modes_tour.dir/io_modes_tour.cpp.o"
+  "CMakeFiles/io_modes_tour.dir/io_modes_tour.cpp.o.d"
+  "io_modes_tour"
+  "io_modes_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_modes_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

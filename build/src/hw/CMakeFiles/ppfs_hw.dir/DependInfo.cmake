@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/disk.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/disk.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/disk.cpp.o.d"
+  "/root/repo/src/hw/disk_sched.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/disk_sched.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/disk_sched.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/mesh.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/mesh.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/mesh.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/node.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/node.cpp.o.d"
+  "/root/repo/src/hw/raid.cpp" "src/hw/CMakeFiles/ppfs_hw.dir/raid.cpp.o" "gcc" "src/hw/CMakeFiles/ppfs_hw.dir/raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

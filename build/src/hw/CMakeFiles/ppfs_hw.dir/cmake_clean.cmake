@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_hw.dir/disk.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/disk.cpp.o.d"
+  "CMakeFiles/ppfs_hw.dir/disk_sched.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/disk_sched.cpp.o.d"
+  "CMakeFiles/ppfs_hw.dir/machine.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/ppfs_hw.dir/mesh.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/mesh.cpp.o.d"
+  "CMakeFiles/ppfs_hw.dir/node.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/node.cpp.o.d"
+  "CMakeFiles/ppfs_hw.dir/raid.cpp.o"
+  "CMakeFiles/ppfs_hw.dir/raid.cpp.o.d"
+  "libppfs_hw.a"
+  "libppfs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/async.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/async.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/async.cpp.o.d"
+  "/root/repo/src/pfs/client.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/client.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/client.cpp.o.d"
+  "/root/repo/src/pfs/filesystem.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/filesystem.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/pfs/io_mode.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/io_mode.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/io_mode.cpp.o.d"
+  "/root/repo/src/pfs/pointer_server.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/pointer_server.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/pointer_server.cpp.o.d"
+  "/root/repo/src/pfs/server.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/server.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/server.cpp.o.d"
+  "/root/repo/src/pfs/stripe.cpp" "src/pfs/CMakeFiles/ppfs_pfs.dir/stripe.cpp.o" "gcc" "src/pfs/CMakeFiles/ppfs_pfs.dir/stripe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ppfs_ufs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_pfs.dir/async.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/async.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/client.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/client.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/filesystem.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/io_mode.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/io_mode.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/pointer_server.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/pointer_server.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/server.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/server.cpp.o.d"
+  "CMakeFiles/ppfs_pfs.dir/stripe.cpp.o"
+  "CMakeFiles/ppfs_pfs.dir/stripe.cpp.o.d"
+  "libppfs_pfs.a"
+  "libppfs_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_prefetch.dir/engine.cpp.o"
+  "CMakeFiles/ppfs_prefetch.dir/engine.cpp.o.d"
+  "CMakeFiles/ppfs_prefetch.dir/predictor.cpp.o"
+  "CMakeFiles/ppfs_prefetch.dir/predictor.cpp.o.d"
+  "CMakeFiles/ppfs_prefetch.dir/prefetch_buffer.cpp.o"
+  "CMakeFiles/ppfs_prefetch.dir/prefetch_buffer.cpp.o.d"
+  "libppfs_prefetch.a"
+  "libppfs_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_sim.dir/event.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/event.cpp.o.d"
+  "CMakeFiles/ppfs_sim.dir/random.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/random.cpp.o.d"
+  "CMakeFiles/ppfs_sim.dir/resource.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/ppfs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/ppfs_sim.dir/stats.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ppfs_sim.dir/trace.cpp.o"
+  "CMakeFiles/ppfs_sim.dir/trace.cpp.o.d"
+  "libppfs_sim.a"
+  "libppfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

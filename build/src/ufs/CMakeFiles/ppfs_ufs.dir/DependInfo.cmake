@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ufs/block_store.cpp" "src/ufs/CMakeFiles/ppfs_ufs.dir/block_store.cpp.o" "gcc" "src/ufs/CMakeFiles/ppfs_ufs.dir/block_store.cpp.o.d"
+  "/root/repo/src/ufs/buffer_cache.cpp" "src/ufs/CMakeFiles/ppfs_ufs.dir/buffer_cache.cpp.o" "gcc" "src/ufs/CMakeFiles/ppfs_ufs.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/ufs/inode.cpp" "src/ufs/CMakeFiles/ppfs_ufs.dir/inode.cpp.o" "gcc" "src/ufs/CMakeFiles/ppfs_ufs.dir/inode.cpp.o.d"
+  "/root/repo/src/ufs/ufs.cpp" "src/ufs/CMakeFiles/ppfs_ufs.dir/ufs.cpp.o" "gcc" "src/ufs/CMakeFiles/ppfs_ufs.dir/ufs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppfs_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_ufs.dir/block_store.cpp.o"
+  "CMakeFiles/ppfs_ufs.dir/block_store.cpp.o.d"
+  "CMakeFiles/ppfs_ufs.dir/buffer_cache.cpp.o"
+  "CMakeFiles/ppfs_ufs.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/ppfs_ufs.dir/inode.cpp.o"
+  "CMakeFiles/ppfs_ufs.dir/inode.cpp.o.d"
+  "CMakeFiles/ppfs_ufs.dir/ufs.cpp.o"
+  "CMakeFiles/ppfs_ufs.dir/ufs.cpp.o.d"
+  "libppfs_ufs.a"
+  "libppfs_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/experiment.cpp" "src/workload/CMakeFiles/ppfs_workload.dir/experiment.cpp.o" "gcc" "src/workload/CMakeFiles/ppfs_workload.dir/experiment.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ppfs_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ppfs_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/options.cpp" "src/workload/CMakeFiles/ppfs_workload.dir/options.cpp.o" "gcc" "src/workload/CMakeFiles/ppfs_workload.dir/options.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/workload/CMakeFiles/ppfs_workload.dir/report.cpp.o" "gcc" "src/workload/CMakeFiles/ppfs_workload.dir/report.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/ppfs_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/ppfs_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppfs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ppfs_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/ppfs_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/ppfs_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

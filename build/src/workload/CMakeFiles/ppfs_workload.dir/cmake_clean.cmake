@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_workload.dir/experiment.cpp.o"
+  "CMakeFiles/ppfs_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/ppfs_workload.dir/generator.cpp.o"
+  "CMakeFiles/ppfs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ppfs_workload.dir/options.cpp.o"
+  "CMakeFiles/ppfs_workload.dir/options.cpp.o.d"
+  "CMakeFiles/ppfs_workload.dir/report.cpp.o"
+  "CMakeFiles/ppfs_workload.dir/report.cpp.o.d"
+  "CMakeFiles/ppfs_workload.dir/trace.cpp.o"
+  "CMakeFiles/ppfs_workload.dir/trace.cpp.o.d"
+  "libppfs_workload.a"
+  "libppfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_faults.dir/test_channel_faults.cpp.o"
+  "CMakeFiles/test_channel_faults.dir/test_channel_faults.cpp.o.d"
+  "test_channel_faults"
+  "test_channel_faults.pdb"
+  "test_channel_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

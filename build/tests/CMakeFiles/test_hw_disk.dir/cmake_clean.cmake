@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_disk.dir/test_hw_disk.cpp.o"
+  "CMakeFiles/test_hw_disk.dir/test_hw_disk.cpp.o.d"
+  "test_hw_disk"
+  "test_hw_disk.pdb"
+  "test_hw_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

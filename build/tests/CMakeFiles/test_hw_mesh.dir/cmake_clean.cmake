@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_mesh.dir/test_hw_mesh.cpp.o"
+  "CMakeFiles/test_hw_mesh.dir/test_hw_mesh.cpp.o.d"
+  "test_hw_mesh"
+  "test_hw_mesh.pdb"
+  "test_hw_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

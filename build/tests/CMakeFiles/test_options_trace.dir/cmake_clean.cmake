@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_options_trace.dir/test_options_trace.cpp.o"
+  "CMakeFiles/test_options_trace.dir/test_options_trace.cpp.o.d"
+  "test_options_trace"
+  "test_options_trace.pdb"
+  "test_options_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_options_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_stripe.dir/test_pfs_stripe.cpp.o"
+  "CMakeFiles/test_pfs_stripe.dir/test_pfs_stripe.cpp.o.d"
+  "test_pfs_stripe"
+  "test_pfs_stripe.pdb"
+  "test_pfs_stripe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

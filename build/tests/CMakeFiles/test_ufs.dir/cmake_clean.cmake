@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ufs.dir/test_ufs.cpp.o"
+  "CMakeFiles/test_ufs.dir/test_ufs.cpp.o.d"
+  "test_ufs"
+  "test_ufs.pdb"
+  "test_ufs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_disk[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_ufs[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs_stripe[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs_client[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_options_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")

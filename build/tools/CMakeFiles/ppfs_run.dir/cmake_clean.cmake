@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_run.dir/ppfs_run.cpp.o"
+  "CMakeFiles/ppfs_run.dir/ppfs_run.cpp.o.d"
+  "ppfs_run"
+  "ppfs_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
