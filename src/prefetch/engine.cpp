@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/check/audit.hpp"
+
 namespace ppfs::prefetch {
 
 PrefetchEngine::PrefetchEngine(pfs::PfsClient& client, PrefetchConfig cfg)
     : client_(client), cfg_(cfg), predictor_(make_predictor(cfg.predictor)) {}
+
+PrefetchEngine::~PrefetchEngine() {
+  if (auto* a = auditor()) {
+    a->check_buffer_conservation(client_.machine().simulation().now(), this,
+                                 /*in_destructor=*/true);
+  }
+}
+
+sim::check::Auditor* PrefetchEngine::auditor() const {
+  return client_.machine().simulation().auditor();
+}
 
 void PrefetchEngine::on_open(int fd) {
   lists_.try_emplace(fd);  // "when the file is opened newly by a process,
@@ -64,6 +77,7 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
       list.remove(stale);
       retire(stale);
       ++stats_.stale_discarded;
+      if (auto* a = auditor()) a->on_buffer_discarded(this);
       ++dropped;
     }
     note_useless(st, dropped);
@@ -72,6 +86,7 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
   }
 
   list.remove(buf);
+  if (auto* a = auditor()) a->on_buffer_consumed(this);
   // A hit proves the prediction stream is good again.
   st.useless_streak = 0;
   st.throttled = false;
@@ -136,6 +151,7 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
       list.remove(victim);
       retire(victim);
       ++stats_.wasted;
+      if (auto* a = auditor()) a->on_buffer_discarded(this);
       note_useless(st, 1);
       if (st.throttled) break;  // throttle tripped mid-loop: stop issuing
     }
@@ -151,6 +167,7 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
     buf->data.resize(len);
     buf->request = client_.post_prefetch(fd, p, len, buf->data);
     list.add(std::move(buf));
+    if (auto* a = auditor()) a->on_buffer_allocated(this);
     ++stats_.issued;
     stats_.bytes_prefetched += len;
   }
@@ -159,11 +176,25 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
 void PrefetchEngine::on_close(int fd) {
   auto it = lists_.find(fd);
   if (it == lists_.end()) return;
+  auto* a = auditor();
   for (auto& buf : it->second.list.drain()) {
     ++stats_.wasted;
+    if (a) a->on_buffer_freed_at_close(this);
     retire(buf);
   }
   lists_.erase(it);
+  // With no buffers resident anywhere in this engine, conservation must
+  // balance exactly: allocated == consumed + discarded + freed-at-close.
+  if (a) {
+    bool resident = false;
+    for (const auto& [ofd, st] : lists_) {
+      (void)ofd;
+      if (!st.list.empty()) resident = true;
+    }
+    if (!resident) {
+      a->check_buffer_conservation(client_.machine().simulation().now(), this);
+    }
+  }
 }
 
 std::unique_ptr<PrefetchEngine> attach_prefetcher(pfs::PfsClient& client, PrefetchConfig cfg) {

@@ -28,6 +28,10 @@
 #include "prefetch/prefetch_buffer.hpp"
 #include "sim/types.hpp"
 
+namespace ppfs::sim::check {
+class Auditor;
+}
+
 namespace ppfs::prefetch {
 
 struct PrefetchConfig {
@@ -71,7 +75,9 @@ struct PrefetchStats {
 class PrefetchEngine final : public pfs::Prefetcher {
  public:
   PrefetchEngine(pfs::PfsClient& client, PrefetchConfig cfg);
-  ~PrefetchEngine() override = default;
+  /// Verifies SimCheck buffer conservation for this engine: every buffer
+  /// ever allocated ended consumed, discarded, or freed at close.
+  ~PrefetchEngine() override;
 
   // --- pfs::Prefetcher ---
   sim::Task<std::optional<ByteCount>> try_serve(int fd, FileOffset off, ByteCount len,
@@ -101,6 +107,9 @@ class PrefetchEngine final : public pfs::Prefetcher {
   };
 
   void note_useless(FdState& st, std::uint64_t count);
+  /// The SimCheck auditor of the simulation this engine runs in (nullptr
+  /// when auditing is compiled out).
+  sim::check::Auditor* auditor() const;
 
   pfs::PfsClient& client_;
   PrefetchConfig cfg_;

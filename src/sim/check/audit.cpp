@@ -1,0 +1,226 @@
+#include "sim/check/audit.hpp"
+
+#include <coroutine>
+#include <exception>
+#include <unordered_set>
+
+#include "sim/simulation.hpp"
+
+namespace ppfs::sim::check {
+
+namespace {
+
+// Process-wide registry of destroyed coroutine-frame addresses. Single
+// audit-relevant thread per process in this simulator; thread_local keeps
+// concurrent test runners independent.
+thread_local std::unordered_set<void*> g_destroyed_frames;
+
+// splitmix64: turns an arbitrary seed into a well-mixed trigger point so
+// injection tests exercise different interleavings per seed.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(Violation v) noexcept {
+  switch (v) {
+    case Violation::kCausality: return "causality";
+    case Violation::kDoubleResume: return "double-resume";
+    case Violation::kResumeAfterDestroy: return "resume-after-destroy";
+    case Violation::kResourceAccounting: return "resource-accounting";
+    case Violation::kBufferConservation: return "buffer-conservation";
+  }
+  return "unknown";
+}
+
+AuditError::AuditError(const ViolationRecord& rec)
+    : std::logic_error("SimCheck violation [" + std::string(to_string(rec.kind)) +
+                       "] at t=" + std::to_string(rec.when) + ": " + rec.detail),
+      kind_(rec.kind) {}
+
+void note_frame_created(void* frame) noexcept {
+  if (frame) g_destroyed_frames.erase(frame);  // allocator reused the address
+}
+
+void note_frame_destroyed(void* frame) noexcept {
+  if (frame) g_destroyed_frames.insert(frame);
+}
+
+bool frame_destroyed(void* frame) noexcept { return g_destroyed_frames.count(frame) != 0; }
+
+void Auditor::report(SimTime now, Violation kind, std::string detail, bool may_throw) {
+  violations_.push_back(ViolationRecord{kind, now, std::move(detail)});
+  if (fail_fast_ && may_throw && std::uncaught_exceptions() == 0) {
+    throw AuditError(violations_.back());
+  }
+}
+
+std::size_t Auditor::count(Violation kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+// --- kernel hooks -----------------------------------------------------------
+
+void Auditor::on_schedule(SimTime now, SimTime t, const void* frame) {
+  tick_injection(now);
+  if (frame) {
+    if (++pending_[frame] > 1) {
+      report(now, Violation::kDoubleResume,
+             "coroutine frame scheduled while already pending in the event queue");
+    }
+  }
+  if (t < now) {
+    report(now, Violation::kCausality,
+           "event scheduled at t=" + std::to_string(t) + " < now=" + std::to_string(now));
+  }
+}
+
+bool Auditor::on_dispatch(SimTime now, const void* frame) {
+  tick_injection(now);
+  if (!frame) return true;
+  auto it = pending_.find(frame);
+  if (it != pending_.end() && --it->second == 0) pending_.erase(it);
+  if (frame_destroyed(const_cast<void*>(frame))) {
+    // Clear the stain so an unrelated future frame at this address (or the
+    // shared noop coroutine used by injection) is not condemned forever.
+    g_destroyed_frames.erase(const_cast<void*>(frame));
+    report(now, Violation::kResumeAfterDestroy,
+           "dispatching a coroutine frame that was destroyed while queued");
+    return false;
+  }
+  return true;
+}
+
+// --- Resource accounting ----------------------------------------------------
+
+void Auditor::on_resource_acquire(SimTime now, const void* res, std::size_t units) {
+  tick_injection(now);
+  resource_outstanding_[res] += static_cast<std::int64_t>(units);
+}
+
+void Auditor::on_resource_release(SimTime now, const void* res, std::size_t units) {
+  auto& out = resource_outstanding_[res];
+  out -= static_cast<std::int64_t>(units);
+  if (out < 0) {
+    out = 0;
+    report(now, Violation::kResourceAccounting,
+           "release of " + std::to_string(units) + " unit(s) exceeds outstanding acquisitions");
+  }
+}
+
+void Auditor::on_resource_destroyed(const void* res) noexcept {
+  auto it = resource_outstanding_.find(res);
+  if (it == resource_outstanding_.end()) return;
+  const std::int64_t leaked = it->second;
+  resource_outstanding_.erase(it);
+  if (leaked != 0) {
+    report(sim_.now(), Violation::kResourceAccounting,
+           std::to_string(leaked) + " unit(s) still acquired when Resource was destroyed",
+           /*may_throw=*/false);
+  }
+}
+
+std::int64_t Auditor::resource_outstanding(const void* res) const noexcept {
+  auto it = resource_outstanding_.find(res);
+  return it == resource_outstanding_.end() ? 0 : it->second;
+}
+
+// --- PrefetchBuffer conservation --------------------------------------------
+
+void Auditor::on_buffer_allocated(const void* owner, std::uint64_t n) {
+  buffers_[owner].allocated += n;
+}
+
+void Auditor::on_buffer_consumed(const void* owner, std::uint64_t n) {
+  auto& l = buffers_[owner];
+  l.consumed += n;
+  if (l.disposed() > l.allocated) {
+    report(sim_.now(), Violation::kBufferConservation,
+           "buffer consumed that was never accounted as allocated");
+  }
+}
+
+void Auditor::on_buffer_discarded(const void* owner, std::uint64_t n) {
+  auto& l = buffers_[owner];
+  l.discarded += n;
+  if (l.disposed() > l.allocated) {
+    report(sim_.now(), Violation::kBufferConservation,
+           "buffer discarded that was never accounted as allocated");
+  }
+}
+
+void Auditor::on_buffer_freed_at_close(const void* owner, std::uint64_t n) {
+  auto& l = buffers_[owner];
+  l.freed_at_close += n;
+  if (l.disposed() > l.allocated) {
+    report(sim_.now(), Violation::kBufferConservation,
+           "buffer freed at close that was never accounted as allocated");
+  }
+}
+
+void Auditor::check_buffer_conservation(SimTime now, const void* owner, bool in_destructor) {
+  auto it = buffers_.find(owner);
+  if (it == buffers_.end()) return;
+  const BufferLedger l = it->second;
+  if (in_destructor) buffers_.erase(it);
+  if (l.allocated != l.disposed()) {
+    report(now, Violation::kBufferConservation,
+           "allocated=" + std::to_string(l.allocated) + " != consumed=" +
+               std::to_string(l.consumed) + " + discarded=" + std::to_string(l.discarded) +
+               " + freed-at-close=" + std::to_string(l.freed_at_close),
+           /*may_throw=*/!in_destructor);
+  }
+}
+
+// --- seeded injection -------------------------------------------------------
+
+void Auditor::arm_injection(Violation kind, std::uint64_t seed) {
+  injection_armed_ = true;
+  injection_kind_ = kind;
+  injection_countdown_ = 1 + splitmix64(seed) % 16;
+}
+
+void Auditor::tick_injection(SimTime now) {
+  if (!injection_armed_ || injecting_) return;
+  if (--injection_countdown_ > 0) return;
+  injection_armed_ = false;
+  injecting_ = true;
+  fire_injection(now);
+  injecting_ = false;
+}
+
+void Auditor::fire_injection(SimTime now) {
+  switch (injection_kind_) {
+    case Violation::kCausality:
+      // A real stale-time schedule through the kernel's public surface.
+      sim_.call_at(now - 1.0, [] {});
+      break;
+    case Violation::kDoubleResume:
+      // The noop coroutine tolerates any number of resumes, so the injected
+      // double-schedule travels the real queue without risking UB.
+      sim_.schedule_at(now, std::noop_coroutine());
+      sim_.schedule_at(now, std::noop_coroutine());
+      break;
+    case Violation::kResumeAfterDestroy:
+      sim_.schedule_at(now, std::noop_coroutine());
+      note_frame_destroyed(std::noop_coroutine().address());
+      break;
+    case Violation::kResourceAccounting:
+      on_resource_release(now, this, 1);  // release with nothing acquired
+      break;
+    case Violation::kBufferConservation:
+      on_buffer_allocated(this, 1);  // allocated, never disposed
+      check_buffer_conservation(now, this);
+      break;
+  }
+}
+
+}  // namespace ppfs::sim::check

@@ -1,0 +1,158 @@
+// SimCheck — the invariant auditor for the DES kernel.
+//
+// The simulator's results are only as trustworthy as the invariants the
+// kernel actually enforces. The Auditor watches four bug classes that
+// corrupt results silently instead of crashing:
+//
+//  * causality      — an event scheduled at t < now() would execute in the
+//                     past; the kernel's silent clamp hides a model bug.
+//  * double resume  — the same coroutine frame scheduled twice without an
+//                     intervening resume; resuming a running/suspended frame
+//                     twice is undefined behavior.
+//  * resume after destroy — a frame destroyed (its owning Task died) while
+//                     still sitting in the event queue; SimCheck detects it
+//                     at dispatch and suppresses the resume instead of
+//                     executing freed memory.
+//  * resource accounting — double-entry bookkeeping of Resource
+//                     acquire/release: releases that exceed acquisitions and
+//                     units still outstanding when a Resource dies.
+//  * buffer conservation — every PrefetchBuffer allocated must end in
+//                     exactly one terminal state: consumed by a read,
+//                     discarded as stale/evicted, or freed at file close.
+//
+// The auditor is compile-time selectable (PPFS_SIMCHECK, default ON; see the
+// top-level CMakeLists). When enabled, every Simulation owns one and checks
+// are always live; a violation throws AuditError (fail-fast) or is recorded
+// for later inspection (set_fail_fast(false)). Destructor-context checks
+// only record — throwing there would terminate.
+//
+// The auditor itself is testable: arm_injection(kind, seed) commits a real
+// violation of that class at a seed-chosen future point, through the same
+// kernel paths real bugs would take, so tests can prove each class is
+// caught (and that the trigger point follows the seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ppfs::sim {
+class Simulation;
+}
+
+namespace ppfs::sim::check {
+
+enum class Violation : std::uint8_t {
+  kCausality,           // schedule_at / call_at with t < now
+  kDoubleResume,        // frame scheduled twice while already pending
+  kResumeAfterDestroy,  // dispatching a frame whose owner destroyed it
+  kResourceAccounting,  // release > acquired, or units leaked at ~Resource
+  kBufferConservation,  // allocated != consumed + discarded + freed-at-close
+};
+
+const char* to_string(Violation v) noexcept;
+
+struct ViolationRecord {
+  Violation kind;
+  SimTime when = 0;
+  std::string detail;
+};
+
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const ViolationRecord& rec);
+  Violation kind() const noexcept { return kind_; }
+
+ private:
+  Violation kind_;
+};
+
+// --- coroutine-frame lifetime registry -------------------------------------
+//
+// Task<T> reports frame creation/destruction here (see sim/task.hpp). The
+// registry is process-wide (the simulator is single-threaded per Simulation,
+// and frames may outlive or predate any particular Simulation), so these are
+// free functions rather than Auditor members. A destroyed address is cleared
+// again when the allocator reuses it for a new frame.
+void note_frame_created(void* frame) noexcept;
+void note_frame_destroyed(void* frame) noexcept;
+bool frame_destroyed(void* frame) noexcept;
+
+class Auditor {
+ public:
+  explicit Auditor(Simulation& sim) : sim_(sim) {}
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /// Throw AuditError at the violation site (default) instead of only
+  /// recording. Destructor-context checks always only record.
+  void set_fail_fast(bool v) noexcept { fail_fast_ = v; }
+  bool fail_fast() const noexcept { return fail_fast_; }
+
+  // --- kernel hooks (called by Simulation) ---
+  /// frame == nullptr for plain callbacks.
+  void on_schedule(SimTime now, SimTime t, const void* frame);
+  /// Returns false if the resume must be suppressed (frame was destroyed).
+  [[nodiscard]] bool on_dispatch(SimTime now, const void* frame);
+
+  // --- Resource double-entry accounting ---
+  void on_resource_acquire(SimTime now, const void* res, std::size_t units);
+  void on_resource_release(SimTime now, const void* res, std::size_t units);
+  /// Destructor context: records only, never throws.
+  void on_resource_destroyed(const void* res) noexcept;
+  /// Units acquired but not yet released on `res` (0 if unknown).
+  std::int64_t resource_outstanding(const void* res) const noexcept;
+
+  // --- PrefetchBuffer conservation (per owning engine) ---
+  void on_buffer_allocated(const void* owner, std::uint64_t n = 1);
+  void on_buffer_consumed(const void* owner, std::uint64_t n = 1);
+  void on_buffer_discarded(const void* owner, std::uint64_t n = 1);
+  void on_buffer_freed_at_close(const void* owner, std::uint64_t n = 1);
+  /// Verify allocated == consumed + discarded + freed for this owner. Call
+  /// when the owner has no resident buffers (e.g. after the last close).
+  void check_buffer_conservation(SimTime now, const void* owner, bool in_destructor = false);
+
+  // --- seeded violation injection ---
+  /// Arm a deliberate violation of `kind`, committed through the real
+  /// kernel/accounting paths after a seed-derived number of audited events.
+  void arm_injection(Violation kind, std::uint64_t seed);
+  bool injection_armed() const noexcept { return injection_armed_; }
+
+  // --- results ---
+  const std::vector<ViolationRecord>& violations() const noexcept { return violations_; }
+  std::size_t count(Violation kind) const noexcept;
+  void clear_violations() { violations_.clear(); }
+
+ private:
+  struct BufferLedger {
+    std::uint64_t allocated = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t discarded = 0;
+    std::uint64_t freed_at_close = 0;
+    std::uint64_t disposed() const { return consumed + discarded + freed_at_close; }
+  };
+
+  void report(SimTime now, Violation kind, std::string detail, bool may_throw = true);
+  void tick_injection(SimTime now);
+  void fire_injection(SimTime now);
+
+  Simulation& sim_;
+  bool fail_fast_ = true;
+
+  std::unordered_map<const void*, std::uint64_t> pending_;  // frame -> times queued
+  std::unordered_map<const void*, std::int64_t> resource_outstanding_;
+  std::unordered_map<const void*, BufferLedger> buffers_;
+  std::vector<ViolationRecord> violations_;
+
+  bool injection_armed_ = false;
+  bool injecting_ = false;
+  Violation injection_kind_ = Violation::kCausality;
+  std::uint64_t injection_countdown_ = 0;
+};
+
+}  // namespace ppfs::sim::check

@@ -1,0 +1,45 @@
+// Streaming determinism digest for the DES kernel.
+//
+// The kernel's reproducibility claim ("ties in time are broken by insertion
+// order, so runs are fully deterministic") is only as good as the tooling
+// that can falsify it. Fnv1a64 folds every dispatched event — its time, its
+// kind, and the deterministic sequence number of the scheduling action that
+// created it — into a 64-bit FNV-1a hash. Two runs of the same scenario must
+// produce bit-identical digests; any divergence (iteration over an
+// address-ordered container, uninitialized reads, a stray real-time source)
+// shows up as a digest mismatch long before it shows up as a wrong number in
+// a results table.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ppfs::sim::check {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  constexpr void mix_byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= kPrime;
+  }
+
+  constexpr void mix_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  /// Doubles are mixed via their bit pattern: equal times hash equally,
+  /// and any FP divergence between runs — however small — is caught.
+  void mix_double(double v) noexcept { mix_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  constexpr std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace ppfs::sim::check

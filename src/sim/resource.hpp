@@ -55,6 +55,12 @@ class Resource {
   }
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
+  ~Resource() {
+    // SimCheck: units still acquired when the resource dies are a leak
+    // (some process holds a guard into freed hardware). Records only —
+    // destructors must not throw.
+    if (auto* a = sim_.auditor()) a->on_resource_destroyed(this);
+  }
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t in_use() const noexcept { return in_use_; }
@@ -68,9 +74,12 @@ class Resource {
     struct Awaiter {
       Resource& res;
       std::size_t units;
-      bool await_ready() noexcept {
+      bool await_ready() {
         if (res.waiters_.empty() && res.in_use_ + units <= res.capacity_) {
           res.in_use_ += units;
+          if (auto* a = res.sim_.auditor()) {
+            a->on_resource_acquire(res.sim_.now(), &res, units);
+          }
           return true;
         }
         return false;
@@ -85,8 +94,9 @@ class Resource {
 
   /// Return units to the pool and grant queued waiters (FIFO).
   void release(std::size_t units) {
+    if (auto* a = sim_.auditor()) a->on_resource_release(sim_.now(), this, units);
     assert(units <= in_use_);
-    in_use_ -= units;
+    in_use_ -= units > in_use_ ? in_use_ : units;
     grant_waiters();
   }
 
@@ -103,10 +113,14 @@ class Resource {
   };
 
   void grant_waiters() {
+    // During pending-process teardown a granted waiter would never run (and
+    // so never release), which would break acquire/release accounting.
+    if (sim_.draining()) return;
     while (!waiters_.empty() && in_use_ + waiters_.front().units <= capacity_) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
       in_use_ += w.units;
+      if (auto* a = sim_.auditor()) a->on_resource_acquire(sim_.now(), this, w.units);
       sim_.schedule_at(sim_.now(), w.h);
     }
   }

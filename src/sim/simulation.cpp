@@ -9,10 +9,27 @@ namespace {
 
 // Fire-and-forget wrapper coroutine used by spawn(). It starts eagerly,
 // immediately co_awaits the user task (driving it), and self-destroys on
-// completion because final_suspend never suspends.
+// completion because final_suspend never suspends. The promise registers
+// the frame with the Simulation so ~Simulation() / an aborted run can
+// destroy processes that never completed (destroying the root cascades:
+// the frame's Task parameter owns the child frame, and so on down).
 struct Detached {
   struct promise_type {
-    Detached get_return_object() noexcept { return {}; }
+    Simulation* sim;
+
+    // Promise constructor matching run_detached's parameters: binds the
+    // owning Simulation before the coroutine body starts.
+    promise_type(Simulation& s, std::size_t&, Task<void>&) noexcept : sim(&s) {}
+    ~promise_type() { sim->note_root_finished(frame()); }
+
+    void* frame() noexcept {
+      return std::coroutine_handle<promise_type>::from_promise(*this).address();
+    }
+
+    Detached get_return_object() {
+      sim->note_root_started(frame());
+      return {};
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
@@ -37,14 +54,52 @@ Detached run_detached(Simulation& sim, std::size_t& live, Task<void> task) {
 
 }  // namespace
 
-Simulation::~Simulation() = default;
+Simulation::Simulation()
+#if defined(PPFS_SIMCHECK)
+    : auditor_(std::make_unique<check::Auditor>(*this))
+#endif
+{
+}
+
+Simulation::~Simulation() {
+  destroy_pending_processes();
+#if defined(PPFS_SIMCHECK)
+  // Assert-count the teardown: destroying every registered root must have
+  // unwound every live process (LiveGuard lives in the root frame).
+  assert(live_processes_ == 0 &&
+         "SimCheck: pending-process teardown left live processes behind");
+#endif
+}
+
+void Simulation::note_root_started(void* frame) { spawned_roots_.insert(frame); }
+
+void Simulation::note_root_finished(void* frame) noexcept { spawned_roots_.erase(frame); }
+
+std::size_t Simulation::destroy_pending_processes() {
+  draining_ = true;
+  std::size_t destroyed = 0;
+  while (!spawned_roots_.empty()) {
+    void* root = *spawned_roots_.begin();
+    // Destroying the root frame cascades through the Task ownership chain,
+    // unwinding every frame of the process; ~promise_type deregisters it.
+    std::coroutine_handle<>::from_address(root).destroy();
+    ++destroyed;
+  }
+  // Whatever was queued either belonged to a just-destroyed process (the
+  // handle now dangles) or is an orphaned callback of an aborted run.
+  queue_ = decltype(queue_){};
+  draining_ = false;
+  return destroyed;
+}
 
 void Simulation::schedule_at(SimTime t, std::coroutine_handle<> h) {
   assert(h);
+  if (auto* a = auditor()) a->on_schedule(now_, t, h.address());
   queue_.push(Item{t < now_ ? now_ : t, next_seq_++, h, nullptr});
 }
 
 void Simulation::call_at(SimTime t, std::function<void()> fn) {
+  if (auto* a = auditor()) a->on_schedule(now_, t, nullptr);
   queue_.push(Item{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
 }
 
@@ -58,9 +113,17 @@ bool Simulation::step() {
   Item item = queue_.top();
   queue_.pop();
   now_ = item.t;
+  ++events_dispatched_;
+  digest_.mix_double(item.t);
+  digest_.mix_u64(item.h ? 1 : 2);
+  digest_.mix_u64(item.seq);
   if (item.h) {
+    if (auto* a = auditor()) {
+      if (!a->on_dispatch(now_, item.h.address())) return true;  // destroyed frame: suppress
+    }
     item.h.resume();
   } else {
+    if (auto* a = auditor()) (void)a->on_dispatch(now_, nullptr);
     item.fn();
   }
   return true;
@@ -71,6 +134,10 @@ std::size_t Simulation::run(SimTime until) {
     if (!errors_.empty()) {
       auto e = errors_.front();
       errors_.clear();
+      // Unwind every other still-pending process now, while the objects
+      // their frames reference (machines, resources, clients) are still
+      // alive — leaving them for ~Simulation() would leak the frames.
+      destroy_pending_processes();
       std::rethrow_exception(e);
     }
   };

@@ -10,6 +10,22 @@
 // runs until its first co_await. Errors escaping a spawned process are
 // captured and rethrown from run(), so tests fail loudly instead of
 // silently dropping a process.
+//
+// Two correctness facilities back the determinism claim (see
+// src/sim/check/):
+//  * every dispatched event is folded into a streaming FNV-1a determinism
+//    digest (digest()); identical scenarios must produce identical digests;
+//  * when built with PPFS_SIMCHECK (default ON), the kernel carries a
+//    SimCheck Auditor (auditor()) that enforces causality, coroutine-frame
+//    lifetime, resource accounting, and prefetch-buffer conservation
+//    invariants at runtime.
+//
+// Aborted runs do not leak coroutine frames: a process error rethrown from
+// run() first destroys every still-pending process (while the objects its
+// frames reference are still alive), and ~Simulation() destroys whatever
+// remains. Callers that drop a Simulation with processes still blocked
+// should make sure those processes only reference objects that outlive the
+// Simulation, or call destroy_pending_processes() at a safe point.
 #pragma once
 
 #include <coroutine>
@@ -17,9 +33,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "sim/check/audit.hpp"
+#include "sim/check/digest.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
@@ -27,7 +47,7 @@ namespace ppfs::sim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
   ~Simulation();
@@ -63,7 +83,8 @@ class Simulation {
 
   /// Run until the event queue is empty or simulated time would exceed
   /// `until`. Returns the number of events processed. Rethrows the first
-  /// error raised by a spawned process.
+  /// error raised by a spawned process (after destroying every other
+  /// still-pending process so aborted runs do not leak frames).
   std::size_t run(SimTime until = kTimeInfinity);
 
   /// Execute at most one event. Returns false if the queue is empty.
@@ -76,7 +97,39 @@ class Simulation {
   /// (e.g. waiting on an Event nobody sets) — usually a bug in the model.
   std::size_t live_processes() const noexcept { return live_processes_; }
 
+  /// Destroy every spawned process that has not completed (their frames
+  /// unwind, releasing resources) and drop all queued events. Returns the
+  /// number of processes destroyed. Used for aborting a run; also invoked
+  /// by ~Simulation() so abandoned runs do not leak coroutine frames.
+  std::size_t destroy_pending_processes();
+
+  /// True while destroy_pending_processes() is unwinding frames; Resource
+  /// suppresses waiter grants during the teardown so accounting stays
+  /// balanced (a granted waiter would never run to release its units).
+  bool draining() const noexcept { return draining_; }
+
+  /// Streaming FNV-1a hash over every dispatched (time, event-kind,
+  /// schedule-sequence) tuple. Two runs of the same scenario must agree.
+  std::uint64_t digest() const noexcept { return digest_.value(); }
+  /// Total events dispatched by step()/run().
+  std::uint64_t events_dispatched() const noexcept { return events_dispatched_; }
+
+  /// The SimCheck invariant auditor, or nullptr when the build has
+  /// PPFS_SIMCHECK disabled.
+  check::Auditor* auditor() noexcept {
+#if defined(PPFS_SIMCHECK)
+    return auditor_.get();
+#else
+    return nullptr;
+#endif
+  }
+
   void report_process_error(std::exception_ptr e);
+
+  // Internal: spawned-root bookkeeping, called by the spawn() machinery's
+  // promise. Not for simulation models.
+  void note_root_started(void* frame);
+  void note_root_finished(void* frame) noexcept;
 
  private:
   struct Item {
@@ -97,6 +150,13 @@ class Simulation {
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   std::vector<std::exception_ptr> errors_;
   std::size_t live_processes_ = 0;
+  std::unordered_set<void*> spawned_roots_;
+  bool draining_ = false;
+  check::Fnv1a64 digest_;
+  std::uint64_t events_dispatched_ = 0;
+#if defined(PPFS_SIMCHECK)
+  std::unique_ptr<check::Auditor> auditor_;
+#endif
 };
 
 }  // namespace ppfs::sim

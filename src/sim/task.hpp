@@ -8,6 +8,11 @@
 // Ownership: the Task object owns the coroutine frame and destroys it in the
 // destructor. When a Task is co_awaited, the temporary Task lives for the
 // whole await expression, so the frame outlives its own completion.
+//
+// Under PPFS_SIMCHECK builds, frame creation and destruction are reported to
+// the SimCheck lifetime registry (sim/check/audit.hpp) so the kernel can
+// refuse to resume a frame whose owning Task already destroyed it —
+// converting a use-after-free into a diagnosed AuditError.
 #pragma once
 
 #include <coroutine>
@@ -15,7 +20,27 @@
 #include <optional>
 #include <utility>
 
+#if defined(PPFS_SIMCHECK)
+#include "sim/check/audit.hpp"
+#endif
+
 namespace ppfs::sim {
+
+namespace detail {
+
+inline void simcheck_frame_created([[maybe_unused]] void* frame) noexcept {
+#if defined(PPFS_SIMCHECK)
+  check::note_frame_created(frame);
+#endif
+}
+
+inline void simcheck_frame_destroyed([[maybe_unused]] void* frame) noexcept {
+#if defined(PPFS_SIMCHECK)
+  check::note_frame_destroyed(frame);
+#endif
+}
+
+}  // namespace detail
 
 template <typename T>
 class Task;
@@ -94,11 +119,14 @@ class [[nodiscard]] Task {
   }
 
  private:
-  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {
+    if (h_) detail::simcheck_frame_created(h_.address());
+  }
   friend struct promise_type;
 
   void destroy() {
     if (h_) {
+      detail::simcheck_frame_destroyed(h_.address());
       h_.destroy();
       h_ = nullptr;
     }
@@ -148,11 +176,14 @@ class [[nodiscard]] Task<void> {
   }
 
  private:
-  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {
+    if (h_) detail::simcheck_frame_created(h_.address());
+  }
   friend struct promise_type;
 
   void destroy() {
     if (h_) {
+      detail::simcheck_frame_destroyed(h_.address());
       h_.destroy();
       h_ = nullptr;
     }

@@ -270,6 +270,8 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
   res.observed_read_bw_mbs =
       sim::megabytes_per_second(res.total_bytes, res.max_node_read_time);
   res.wall_bw_mbs = sim::megabytes_per_second(res.total_bytes, res.wall_elapsed);
+  res.digest = sim.digest();
+  res.events_dispatched = sim.events_dispatched();
   return res;
 }
 

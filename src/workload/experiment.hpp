@@ -51,6 +51,12 @@ struct ExperimentResult {
 
   prefetch::PrefetchStats prefetch;  // summed across nodes (zero w/o engine)
   std::uint64_t verify_failures = 0;
+
+  /// SimCheck determinism digest of the whole run (populate + read phase):
+  /// the kernel's FNV-1a hash over every dispatched event. Two runs of the
+  /// same spec must agree bit-for-bit — see ppfs_run --selfcheck.
+  std::uint64_t digest = 0;
+  std::uint64_t events_dispatched = 0;
 };
 
 /// Runs workloads on a freshly-built machine each time (fully

@@ -76,6 +76,8 @@ the paper's metrics.
   --depth <n>           prefetch depth                      (default 1)
   --adaptive            enable the adaptive prefetch throttle
   --compare             run with AND without prefetch, print both
+  --selfcheck           run each configuration twice; fail on determinism-
+                        digest divergence (SimCheck)
   --ncompute <n>        compute nodes                       (default 8)
   --nio <n>             I/O nodes                           (default 8)
   --sunit <size>        stripe unit                         (default 64K)
@@ -127,6 +129,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.workload.prefetch_cfg.adaptive = true;
     } else if (a == "--compare") {
       opt.compare = true;
+    } else if (a == "--selfcheck") {
+      opt.selfcheck = true;
     } else if (a == "--ncompute") {
       opt.machine.ncompute = parse_int(a, need_value(i, a));
       ++i;

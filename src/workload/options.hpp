@@ -18,6 +18,9 @@ struct CliOptions {
   bool show_help = false;
   /// Runs both with and without prefetching and prints the comparison.
   bool compare = false;
+  /// Runs each configuration twice and fails on determinism-digest
+  /// divergence (SimCheck).
+  bool selfcheck = false;
 };
 
 /// Parse "64K", "8M", "1G", or plain bytes. Throws std::invalid_argument

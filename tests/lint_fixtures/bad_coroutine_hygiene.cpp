@@ -1,0 +1,44 @@
+// Deliberately-bad fixture for tools/ppfs_lint.py. NEVER compiled — it
+// exists so the ppfs_lint_detects_fixture ctest can prove the lint flags
+// each coroutine-hygiene rule class. Each block below is a real bug
+// pattern that compiled fine in earlier drafts of DES codebases and
+// corrupted results at runtime.
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace ppfs::bad {
+
+sim::Task<void> helper(sim::Simulation& sim);
+
+sim::Task<void> discards_a_task(sim::Simulation& sim) {
+  // [discarded-task] The returned Task is destroyed before it ever runs:
+  // the helper's body silently never executes.
+  helper(sim);
+  co_return;
+}
+
+void spawns_with_dangling_capture(sim::Simulation& sim, int& counter) {
+  // [spawn-ref-capture] `counter` (and `sim`) are captured by reference;
+  // the lambda object dies when spawn() returns, so the coroutine frame
+  // reads a dangling reference after its first co_await.
+  sim.spawn([&]() -> sim::Task<void> {
+    co_await sim.delay(1.0);
+    ++counter;
+  }());
+}
+
+struct InlineAwaitable {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) {}
+  void await_resume() const noexcept {}
+};
+
+sim::Task<void> awaits_a_temporary(sim::Simulation& sim) {
+  co_await sim.delay(0.5);
+  // [co-await-temporary] Inline awaitable temporary: nothing ties its
+  // lifetime (or the lifetimes of anything it references) to a primitive
+  // that outlives the suspension.
+  co_await InlineAwaitable{};
+}
+
+}  // namespace ppfs::bad

@@ -1,0 +1,346 @@
+// Tests for SimCheck — the kernel invariant auditor, the coroutine-frame
+// lifetime registry, the determinism digest, and pending-process teardown.
+//
+// Each of the auditor's violation classes gets (a) a real-path test that
+// commits the violation through the public kernel surface and (b) a seeded
+// injection test proving the auditor catches the class when the trigger
+// point is chosen by arm_injection(kind, seed).
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/client.hpp"
+#include "pfs/filesystem.hpp"
+#include "prefetch/engine.hpp"
+#include "sim/check/audit.hpp"
+#include "sim/event.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "test_util.hpp"
+#include "workload/experiment.hpp"
+
+namespace ppfs::sim {
+namespace {
+
+using check::AuditError;
+using check::Violation;
+using ppfs::test::run_task;
+
+#if !defined(PPFS_SIMCHECK)
+#error "test_simcheck requires a PPFS_SIMCHECK build (the default)"
+#endif
+
+Task<void> tick_forever(Simulation& sim, Event& ev) {
+  co_await sim.delay(1.0);
+  co_await ev.wait();  // never set: process blocks forever
+}
+
+Task<void> noop_task() { co_return; }
+
+// --- causality --------------------------------------------------------------
+
+TEST(SimCheckCausality, SchedulingInThePastThrows) {
+  Simulation sim;
+  ASSERT_NE(sim.auditor(), nullptr);
+  sim.call_at(5.0, [] {});
+  sim.run();
+  ASSERT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_THROW(sim.call_at(1.0, [] {}), AuditError);
+  EXPECT_EQ(sim.auditor()->count(Violation::kCausality), 1u);
+}
+
+TEST(SimCheckCausality, RecordOnlyModeCollects) {
+  Simulation sim;
+  sim.auditor()->set_fail_fast(false);
+  sim.call_at(3.0, [] {});
+  sim.run();
+  sim.call_at(2.0, [] {});  // in the past; clamped, but recorded
+  sim.run();
+  ASSERT_EQ(sim.auditor()->count(Violation::kCausality), 1u);
+  EXPECT_EQ(sim.auditor()->violations()[0].kind, Violation::kCausality);
+}
+
+// --- double resume ----------------------------------------------------------
+
+TEST(SimCheckDoubleResume, SameFrameQueuedTwiceThrows) {
+  Simulation sim;
+  sim.schedule_at(1.0, std::noop_coroutine());
+  EXPECT_THROW(sim.schedule_at(1.0, std::noop_coroutine()), AuditError);
+  EXPECT_EQ(sim.auditor()->count(Violation::kDoubleResume), 1u);
+}
+
+// --- resume after destroy ---------------------------------------------------
+
+TEST(SimCheckLifetime, ResumeAfterDestroyIsSuppressed) {
+  Simulation sim;
+  sim.auditor()->set_fail_fast(false);
+  {
+    Task<void> t = noop_task();
+    // Schedule the frame, then destroy it through its owner — the classic
+    // dangling-handle bug. ~Task reports the frame to the registry.
+    auto h = t.release();
+    sim.schedule_at(1.0, h);
+    check::note_frame_destroyed(h.address());
+    h.destroy();
+  }
+  sim.run();  // must not resume the dead frame
+  EXPECT_EQ(sim.auditor()->count(Violation::kResumeAfterDestroy), 1u);
+}
+
+TEST(SimCheckLifetime, RegistryClearsStainOnReuse) {
+  int probe = 0;
+  void* addr = &probe;
+  EXPECT_FALSE(check::frame_destroyed(addr));
+  check::note_frame_destroyed(addr);
+  EXPECT_TRUE(check::frame_destroyed(addr));
+  // Task's constructor notes creation, which clears a stale stain left by a
+  // previous frame the allocator placed at the same address.
+  check::note_frame_created(addr);
+  EXPECT_FALSE(check::frame_destroyed(addr));
+}
+
+// --- resource accounting ----------------------------------------------------
+
+TEST(SimCheckResource, ReleaseWithoutAcquireThrows) {
+  Simulation sim;
+  Resource res(sim, 2);
+  EXPECT_THROW(res.release(1), AuditError);
+  EXPECT_EQ(sim.auditor()->count(Violation::kResourceAccounting), 1u);
+}
+
+TEST(SimCheckResource, BalancedUseIsClean) {
+  Simulation sim;
+  Resource res(sim, 2);
+  run_task(sim, [](Simulation& s, Resource& r) -> Task<void> {
+    auto g1 = co_await r.acquire(1);
+    auto g2 = co_await r.acquire(1);
+    co_await s.delay(0.5);
+    g1.release();
+    g2.release();
+    auto g3 = co_await r.acquire(2);  // whole capacity, released at scope exit
+  }(sim, res));
+  EXPECT_EQ(sim.auditor()->count(Violation::kResourceAccounting), 0u);
+  EXPECT_EQ(sim.auditor()->resource_outstanding(&res), 0);
+}
+
+TEST(SimCheckResource, LeakAtDestructionRecorded) {
+  Simulation sim;
+  auto res = std::make_unique<Resource>(sim, 2);
+  {
+    auto awaiter = res->acquire(1);
+    ASSERT_TRUE(awaiter.await_ready());  // capacity free: acquires inline
+    // Guard never constructed — the unit is now leaked deliberately.
+  }
+  EXPECT_EQ(sim.auditor()->resource_outstanding(res.get()), 1);
+  res.reset();  // destructor context: records, must not throw
+  ASSERT_EQ(sim.auditor()->count(Violation::kResourceAccounting), 1u);
+  EXPECT_NE(sim.auditor()->violations()[0].detail.find("still acquired"), std::string::npos);
+}
+
+// --- buffer conservation ----------------------------------------------------
+
+TEST(SimCheckBuffers, UnbalancedLedgerDetected) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  const void* owner = &sim;
+  a->on_buffer_allocated(owner, 3);
+  a->on_buffer_consumed(owner, 1);
+  a->on_buffer_discarded(owner, 1);
+  a->check_buffer_conservation(sim.now(), owner);  // one buffer unaccounted
+  EXPECT_EQ(a->count(Violation::kBufferConservation), 1u);
+}
+
+TEST(SimCheckBuffers, OverDisposalDetectedImmediately) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  const void* owner = &sim;
+  a->on_buffer_allocated(owner, 1);
+  a->on_buffer_consumed(owner, 1);
+  a->on_buffer_freed_at_close(owner, 1);  // second terminal state: bug
+  EXPECT_EQ(a->count(Violation::kBufferConservation), 1u);
+}
+
+TEST(SimCheckBuffers, RealPrefetchRunConserves) {
+  Simulation sim;
+  hw::Machine machine(sim, hw::MachineConfig::paragon(1, 4));
+  pfs::PfsFileSystem fs(machine, pfs::PfsParams{});
+  pfs::PfsClient client(fs, 0, 0, 1);
+  prefetch::PrefetchConfig cfg;
+  cfg.depth = 2;
+  auto engine = prefetch::attach_prefetcher(client, cfg);
+
+  const ByteCount total = 256 * 1024;
+  fs.create("f", fs.default_attrs());
+  run_task(sim, [](Simulation&, pfs::PfsClient& c, ByteCount sz) -> Task<void> {
+    const int fd = co_await c.open("f", pfs::IoMode::kAsync);
+    auto data = ppfs::test::make_pattern(1, 0, sz);
+    co_await c.write(fd, data);
+    c.close(fd);
+  }(sim, client, total));
+
+  run_task(sim, [](Simulation&, pfs::PfsClient& c, ByteCount sz) -> Task<void> {
+    const int fd = co_await c.open("f", pfs::IoMode::kAsync);
+    std::vector<std::byte> buf(16 * 1024);
+    for (ByteCount off = 0; off < sz; off += buf.size()) {
+      co_await c.read(fd, buf);
+    }
+    c.close(fd);  // drains every remaining buffer; conservation checked here
+  }(sim, client, total));
+
+  EXPECT_GT(engine->stats().issued, 0u);
+  engine.reset();  // destructor re-checks the ledger
+  EXPECT_EQ(sim.auditor()->count(Violation::kBufferConservation), 0u);
+}
+
+// --- seeded injection: the auditor audits itself ----------------------------
+
+class SimCheckInjection : public ::testing::TestWithParam<std::uint64_t> {};
+
+void drive_events(Simulation& sim, int n) {
+  for (int i = 0; i < n; ++i) {
+    sim.call_at(sim.now() + 0.1 * (i + 1), [] {});
+  }
+  sim.run();
+}
+
+TEST_P(SimCheckInjection, EveryViolationClassIsCaught) {
+  const std::uint64_t seed = GetParam();
+  const Violation kinds[] = {Violation::kCausality, Violation::kDoubleResume,
+                             Violation::kResumeAfterDestroy, Violation::kResourceAccounting,
+                             Violation::kBufferConservation};
+  for (Violation kind : kinds) {
+    Simulation sim;
+    auto* a = sim.auditor();
+    a->set_fail_fast(false);
+    a->arm_injection(kind, seed);
+    EXPECT_TRUE(a->injection_armed());
+    drive_events(sim, 40);  // > max trigger countdown (16 audited events)
+    EXPECT_FALSE(a->injection_armed());
+    EXPECT_EQ(a->count(kind), 1u)
+        << "seed " << seed << " kind " << check::to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCheckInjection, ::testing::Values(1u, 42u, 0xdeadbeefu));
+
+// --- determinism digest -----------------------------------------------------
+
+workload::WorkloadSpec small_spec(pfs::IoMode mode, bool prefetch) {
+  workload::WorkloadSpec w;
+  w.mode = mode;
+  w.request_size = 64 * 1024;
+  w.file_size = 1024 * 1024;
+  w.prefetch = prefetch;
+  w.compute_delay = prefetch ? 0.005 : 0.0;
+  return w;
+}
+
+TEST(SimCheckDigest, IdenticalAcrossRepeatedRuns) {
+  workload::Experiment exp;
+  const auto w = small_spec(pfs::IoMode::kRecord, true);
+  const auto r1 = exp.run(w);
+  const auto r2 = exp.run(w);
+  EXPECT_NE(r1.digest, 0u);
+  EXPECT_GT(r1.events_dispatched, 0u);
+  EXPECT_EQ(r1.digest, r2.digest);
+  EXPECT_EQ(r1.events_dispatched, r2.events_dispatched);
+}
+
+// Digest regression over the paper-shape scenario matrix: every mode the
+// figures exercise must be reproducible run-to-run (and the digest must
+// actually discriminate between scenarios).
+TEST(SimCheckDigest, PaperShapeScenariosReproduce) {
+  workload::Experiment exp;
+  std::vector<std::uint64_t> digests;
+  for (pfs::IoMode mode : {pfs::IoMode::kRecord, pfs::IoMode::kUnix, pfs::IoMode::kGlobal,
+                           pfs::IoMode::kSync}) {
+    for (bool prefetch : {false, true}) {
+      const auto w = small_spec(mode, prefetch);
+      const auto r1 = exp.run(w);
+      const auto r2 = exp.run(w);
+      EXPECT_EQ(r1.digest, r2.digest)
+          << "nondeterminism in mode " << pfs::to_string(mode) << " prefetch=" << prefetch;
+      digests.push_back(r1.digest);
+    }
+  }
+  std::sort(digests.begin(), digests.end());
+  EXPECT_EQ(std::unique(digests.begin(), digests.end()), digests.end())
+      << "distinct scenarios collapsed to the same digest";
+}
+
+TEST(SimCheckDigest, StepCountsAndDigestAdvanceTogether) {
+  Simulation sim;
+  EXPECT_EQ(sim.events_dispatched(), 0u);
+  const auto d0 = sim.digest();
+  sim.call_at(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+  EXPECT_NE(sim.digest(), d0);
+}
+
+// --- pending-process teardown -----------------------------------------------
+
+TEST(SimCheckTeardown, DestroyPendingProcessesUnwindsBlockedProcess) {
+  Simulation sim;
+  Event never(sim);
+  sim.spawn(tick_forever(sim, never));
+  sim.run();
+  ASSERT_EQ(sim.live_processes(), 1u);  // blocked on the never-set event
+  EXPECT_EQ(sim.destroy_pending_processes(), 1u);
+  EXPECT_EQ(sim.live_processes(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimCheckTeardown, DestructorDestroysPendingFrames) {
+  // Drop a Simulation with a blocked process: the frame must be destroyed
+  // (ASan/LSan builds verify no leak) and teardown must not crash.
+  auto sim = std::make_unique<Simulation>();
+  auto never = std::make_unique<Event>(*sim);
+  sim->spawn(tick_forever(*sim, *never));
+  sim->run();
+  ASSERT_EQ(sim->live_processes(), 1u);
+  sim.reset();
+}
+
+TEST(SimCheckTeardown, AbortedRunDestroysOtherProcesses) {
+  Simulation sim;
+  Event never(sim);
+  sim.spawn(tick_forever(sim, never));
+  sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.delay(2.0);
+    throw std::runtime_error("model bug");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  // The rethrow path unwinds the blocked process too, so aborted runs do
+  // not leak frames (and later teardown cannot touch dead objects).
+  EXPECT_EQ(sim.live_processes(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimCheckTeardown, GuardsReleaseDuringTeardown) {
+  Simulation sim;
+  Resource res(sim, 1);
+  Event never(sim);
+  sim.spawn([](Simulation& s, Resource& r, Event& ev) -> Task<void> {
+    auto g = co_await r.acquire(1);
+    co_await s.delay(0.1);
+    co_await ev.wait();  // blocks forever while holding the guard
+  }(sim, res, never));
+  sim.run();
+  ASSERT_EQ(res.in_use(), 1u);
+  EXPECT_EQ(sim.destroy_pending_processes(), 1u);
+  // The frame's ResourceGuard released on unwind: accounting balanced.
+  EXPECT_EQ(res.in_use(), 0u);
+  EXPECT_EQ(sim.auditor()->resource_outstanding(&res), 0);
+  EXPECT_EQ(sim.auditor()->count(Violation::kResourceAccounting), 0u);
+}
+
+}  // namespace
+}  // namespace ppfs::sim

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""ppfs_lint — coroutine-hygiene lint for the ppfs simulator sources.
+
+The C++20 coroutine model makes three mistakes easy to write, hard to spot
+in review, and catastrophic at runtime. This pass enforces the repo's rules
+mechanically (it runs as a CTest, see tools/CMakeLists.txt):
+
+  discarded-task       A statement that calls a Task<...>-returning function
+                       and drops the result. The Task destructor destroys a
+                       never-started frame, so the operation silently does
+                       not happen ([[nodiscard]] catches plain calls; this
+                       also catches casts-to-void and comma abuse, and keeps
+                       the rule toolchain-independent).
+
+  spawn-ref-capture    A lambda passed to spawn() that captures by
+                       reference. The lambda object lives only until spawn()
+                       returns, but its coroutine frame lives until the
+                       process completes — every by-reference capture
+                       dangles after the first co_await. The repo idiom is
+                       an empty capture list with explicit value parameters:
+                       spawn([](T arg, ...) -> Task<void> {...}(args...)).
+
+  co-await-temporary   `co_await SomeType{...}` / `co_await SomeType(...)`
+                       constructing an awaitable inline. Awaitables in this
+                       codebase are produced by factory methods (sim.delay,
+                       res.acquire, ev.wait) that tie their lifetime to the
+                       owning primitive; an inline temporary holding
+                       references of its own is the classic dangling-frame
+                       setup.
+
+Usage:
+    ppfs_lint.py [--expect-violations N] <dir-or-file>...
+
+Exit status 0 when clean; 1 when violations are found. With
+--expect-violations N the meaning inverts: exit 0 only when at least N
+violations are found AND all three rule classes fire (used to prove the
+lint itself detects the deliberately-bad fixture in tests/lint_fixtures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+TASK_DECL_RE = re.compile(r"\bTask<[^;{=()]*>\s+(\w+)\s*\(")
+SPAWN_LAMBDA_RE = re.compile(r"\bspawn\s*\(\s*\[([^\]]*)\]")
+CO_AWAIT_TEMP_RE = re.compile(
+    r"\bco_await\s+(?:ppfs::)?(?:sim::|pfs::|hw::|ufs::|prefetch::|workload::)?"
+    r"([A-Z]\w*)(?:<[^;>]*>)?\s*[{(]"
+)
+# A statement consisting solely of an optional object qualifier chain and a
+# call: `fn(...)` / `obj.fn(...)` / `a->b.fn(...)`. Anything else before the
+# name (co_await, return, =, an outer call's open paren) disqualifies it.
+BARE_QUALIFIER_RE = re.compile(r"^\s*([A-Za-z_][\w:]*\s*(\.|->)\s*)*$")
+
+# Task-returning names too generic to lint without type information: they
+# collide with non-coroutine members (std::ostream::write, etc.). The
+# remaining names are unambiguous in this codebase.
+AMBIGUOUS_NAMES = {"write", "read", "open", "wait", "get"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def collect_task_functions(files: list[Path]) -> set[str]:
+    names: set[str] = set()
+    for path in files:
+        clean = strip_comments_and_strings(path.read_text(errors="replace"))
+        for m in TASK_DECL_RE.finditer(clean):
+            name = m.group(1)
+            if name not in AMBIGUOUS_NAMES and not name.startswith("operator"):
+                names.add(name)
+    return names
+
+
+def check_discarded_tasks(path: Path, clean: str, task_fns: set[str], findings: list) -> None:
+    if not task_fns:
+        return
+    call_re = re.compile(r"\b(" + "|".join(sorted(task_fns)) + r")\s*\(")
+    for m in call_re.finditer(clean):
+        # The window since the last statement/block boundary must be nothing
+        # but an object qualifier chain for this to be a discarded call.
+        start = max(clean.rfind(ch, 0, m.start()) for ch in ";{}") + 1
+        window = clean[start : m.start()]
+        trimmed = window.strip()
+        if "case " in window or (trimmed.endswith(":") and not trimmed.endswith("::")):
+            window = window[window.rfind(":") + 1 :]
+        if not BARE_QUALIFIER_RE.match(window):
+            continue
+        # Balanced-paren scan: a discard ends with `;` right after the call.
+        depth, j = 0, m.end() - 1
+        while j < len(clean):
+            if clean[j] == "(":
+                depth += 1
+            elif clean[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        tail = clean[j + 1 : j + 16].lstrip()
+        if tail.startswith(";"):
+            findings.append(
+                (path, line_of(clean, m.start()), "discarded-task",
+                 f"result of Task-returning '{m.group(1)}()' is discarded; "
+                 f"the coroutine is destroyed without ever running "
+                 f"(co_await it, spawn() it, or keep the Task alive)"))
+
+
+def check_spawn_captures(path: Path, clean: str, findings: list) -> None:
+    for m in SPAWN_LAMBDA_RE.finditer(clean):
+        captures = m.group(1)
+        if "&" in captures or "=" in captures or re.search(r"\bthis\b", captures):
+            findings.append(
+                (path, line_of(clean, m.start()), "spawn-ref-capture",
+                 f"lambda passed to spawn() captures [{captures.strip()}]; captured "
+                 f"state dangles after the first co_await — pass state as value "
+                 f"parameters: spawn([](T arg) -> Task<void> {{...}}(arg))"))
+
+
+def check_co_await_temporaries(path: Path, clean: str, findings: list) -> None:
+    for m in CO_AWAIT_TEMP_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "co-await-temporary",
+             f"co_await on inline temporary '{m.group(1)}'; build awaitables via "
+             f"their owning primitive's factory (sim.delay, res.acquire, ev.wait) "
+             f"so lifetimes are tied to the primitive"))
+
+
+def gather_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(f for f in sorted(path.rglob("*")) if f.suffix in CPP_SUFFIXES)
+        elif path.suffix in CPP_SUFFIXES:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+")
+    ap.add_argument("--expect-violations", type=int, default=None, metavar="N",
+                    help="invert: succeed only if >= N violations spanning all rules")
+    args = ap.parse_args(argv)
+
+    files = gather_files(args.paths)
+    if not files:
+        print("ppfs_lint: no C++ sources found", file=sys.stderr)
+        return 2
+
+    # Task-returning names come from the real headers, so the fixture is
+    # linted against the same vocabulary as the codebase.
+    src_root = Path(__file__).resolve().parent.parent / "src"
+    decl_files = list(files)
+    if src_root.is_dir():
+        decl_files += [f for f in sorted(src_root.rglob("*")) if f.suffix in CPP_SUFFIXES]
+    task_fns = collect_task_functions(decl_files)
+
+    findings: list = []
+    for path in files:
+        clean = strip_comments_and_strings(path.read_text(errors="replace"))
+        check_discarded_tasks(path, clean, task_fns, findings)
+        check_spawn_captures(path, clean, findings)
+        check_co_await_temporaries(path, clean, findings)
+
+    for path, line, rule, msg in findings:
+        print(f"{path}:{line}: [{rule}] {msg}")
+
+    if args.expect_violations is not None:
+        rules_hit = {rule for _, _, rule, _ in findings}
+        ok = len(findings) >= args.expect_violations and len(rules_hit) == 3
+        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/3 rule classes "
+              f"fired — {'OK (expected)' if ok else 'FAIL (expected violations missing)'}")
+        return 0 if ok else 1
+
+    if findings:
+        print(f"ppfs_lint: {len(findings)} violation(s) in {len(files)} file(s)")
+        return 1
+    print(f"ppfs_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

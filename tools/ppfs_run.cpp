@@ -42,6 +42,40 @@ void print_result(const char* label, const ExperimentResult& r) {
   }
 }
 
+/// SimCheck determinism self-check: run the identical configuration twice
+/// on fresh machines and demand bit-identical kernel digests (plus matching
+/// headline metrics — a digest collision hiding a divergence would still be
+/// caught by these). Returns true when the runs agree.
+bool selfcheck_one(const Experiment& exp, const WorkloadSpec& w, const char* label) {
+  const auto r1 = exp.run(w);
+  const auto r2 = exp.run(w);
+  const bool ok = r1.digest == r2.digest && r1.events_dispatched == r2.events_dispatched &&
+                  r1.total_bytes == r2.total_bytes && r1.reads == r2.reads &&
+                  r1.wall_elapsed == r2.wall_elapsed;
+  std::printf("%-16s digest %016llx / %016llx  events %llu / %llu : %s\n", label,
+              (unsigned long long)r1.digest, (unsigned long long)r2.digest,
+              (unsigned long long)r1.events_dispatched,
+              (unsigned long long)r2.events_dispatched, ok ? "IDENTICAL" : "DIVERGED");
+  return ok;
+}
+
+int run_selfcheck(const Experiment& exp, const CliOptions& opt) {
+  bool ok = true;
+  if (opt.compare) {
+    auto off = opt.workload;
+    off.prefetch = false;
+    auto on = opt.workload;
+    on.prefetch = true;
+    ok &= selfcheck_one(exp, off, "no prefetch:");
+    ok &= selfcheck_one(exp, on, "prefetch:");
+  } else {
+    ok &= selfcheck_one(exp, opt.workload,
+                        opt.workload.prefetch ? "prefetch:" : "no prefetch:");
+  }
+  std::printf("selfcheck: %s\n", ok ? "PASS" : "FAIL (nondeterminism detected)");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +106,9 @@ int main(int argc, char** argv) {
                 opt.workload.separate_files ? ", separate files" : "",
                 opt.workload.use_fastpath ? "" : ", buffered");
 
+    if (opt.selfcheck) {
+      return run_selfcheck(exp, opt);
+    }
     if (opt.compare) {
       auto off = opt.workload;
       off.prefetch = false;
