@@ -1,0 +1,50 @@
+// Typed fault errors.
+//
+// FaultError is the only exception type the recovery machinery treats as
+// survivable: the RPC reliability envelope retries it, the RAID array maps
+// a lost member onto parity reconstruction instead of raising it, and
+// best-effort consumers (readahead, prefetch reaping) may absorb it after
+// accounting. Every other exception type keeps the seed's "a lost process
+// is a model bug" policy and stays fatal to the run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ppfs::fault {
+
+/// Root-cause classification, carried end to end so per-layer error causes
+/// can be reported without string matching.
+enum class ErrorCause : std::uint8_t {
+  kDiskTransient,  // transient medium/controller error; a retry usually heals it
+  kDiskFailed,     // member set unreadable even with parity reconstruction
+  kNodeDown,       // target I/O node is crashed (or crashed mid-service)
+  kRpcTimeout,     // retry budget / request deadline exhausted
+};
+
+inline constexpr std::size_t kErrorCauseCount = 4;
+
+inline const char* to_string(ErrorCause c) noexcept {
+  switch (c) {
+    case ErrorCause::kDiskTransient: return "disk-transient";
+    case ErrorCause::kDiskFailed: return "disk-failed";
+    case ErrorCause::kNodeDown: return "node-down";
+    case ErrorCause::kRpcTimeout: return "rpc-timeout";
+  }
+  return "unknown";
+}
+
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(ErrorCause cause, const std::string& detail)
+      : std::runtime_error(std::string(to_string(cause)) + ": " + detail), cause_(cause) {}
+
+  ErrorCause cause() const noexcept { return cause_; }
+
+ private:
+  ErrorCause cause_;
+};
+
+}  // namespace ppfs::fault

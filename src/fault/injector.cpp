@@ -1,0 +1,79 @@
+#include "fault/injector.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace ppfs::fault {
+
+int FaultInjector::arm(const FaultPlan& plan, sim::SimTime base) {
+  const int before = injected_;
+  for (const FaultEvent& ev : plan.events) arm_one(ev, base);
+  if (plan.chaos_seed != 0) {
+    const int members = machine_.io_node_count() > 0
+                            ? static_cast<int>(machine_.raid(0).member_count())
+                            : 0;
+    for (const FaultEvent& ev :
+         chaos_expand(plan, machine_.io_node_count(), members)) {
+      arm_one(ev, base);
+    }
+  }
+  return injected_ - before;
+}
+
+void FaultInjector::arm_one(const FaultEvent& ev, sim::SimTime base) {
+  auto& sim = machine_.simulation();
+
+  std::vector<int> ios;
+  if (ev.io_index < 0) {
+    for (int i = 0; i < machine_.io_node_count(); ++i) ios.push_back(i);
+  } else {
+    ios.push_back(ev.io_index);
+  }
+
+  for (int io : ios) {
+    hw::RaidArray& raid = machine_.raid(io);
+    std::vector<std::size_t> members;
+    if (ev.member < 0) {
+      for (std::size_t m = 0; m < raid.member_count(); ++m) members.push_back(m);
+    } else {
+      members.push_back(static_cast<std::size_t>(ev.member));
+    }
+
+    switch (ev.kind) {
+      case FaultKind::kDiskTransient:
+        for (std::size_t m : members) {
+          raid.member(m).inject_transient_errors(base + ev.at, base + ev.until,
+                                                 ev.max_errors);
+        }
+        break;
+      case FaultKind::kDiskSlow:
+        for (std::size_t m : members) {
+          raid.member(m).inject_slowdown(ev.factor, base + ev.at, base + ev.until);
+        }
+        break;
+      case FaultKind::kDiskFail: {
+        // One member lost (a plan asking for "all" loses member 0 — losing
+        // every member is not a survivable fault, it is a dead array).
+        const std::size_t m = ev.member < 0 ? 0 : static_cast<std::size_t>(ev.member);
+        sim.call_at(base + ev.at, [&raid, m] { raid.fail_member(m); });
+        if (ev.outage > 0) {
+          sim.call_at(base + ev.at + ev.outage, [&raid, m] { raid.restore_member(m); });
+        }
+        break;
+      }
+      case FaultKind::kNodeCrash: {
+        pfs::PfsServer& srv = fs_.server(io);
+        sim.call_at(base + ev.at, [&srv] { srv.crash(); });
+        sim.call_at(base + ev.at + ev.outage, [&srv] { srv.restore(); });
+        break;
+      }
+      case FaultKind::kLinkDegrade:
+        machine_.mesh().inject_node_slowdown(machine_.io_node(io), ev.factor,
+                                             base + ev.at, base + ev.until);
+        break;
+    }
+    ++injected_;
+  }
+}
+
+}  // namespace ppfs::fault

@@ -1,0 +1,41 @@
+// FaultInjector: arms a FaultPlan against a live machine.
+//
+// The injector is the bridge between the declarative plan and the layers
+// that own each fault: disk service windows (transient errors, slowdowns),
+// RAID member failures, I/O daemon crash/restart, and mesh link
+// degradation. Arming is pure scheduling — every fault fires through
+// Simulation::call_at or a time-window check inside the owning component,
+// so the same (seed, plan) replays the identical schedule and the SimCheck
+// determinism digest holds.
+#pragma once
+
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(hw::Machine& machine, pfs::PfsFileSystem& fs)
+      : machine_(machine), fs_(fs) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install every event of `plan` (chaos portion expanded against the
+  /// machine shape) with event times relative to simulation time `base`.
+  /// Returns the number of concrete fault events armed.
+  int arm(const FaultPlan& plan, sim::SimTime base);
+
+  int injected() const noexcept { return injected_; }
+
+ private:
+  void arm_one(const FaultEvent& ev, sim::SimTime base);
+
+  hw::Machine& machine_;
+  pfs::PfsFileSystem& fs_;
+  int injected_ = 0;
+};
+
+}  // namespace ppfs::fault

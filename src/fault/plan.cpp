@@ -1,0 +1,232 @@
+#include "fault/plan.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace ppfs::fault {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, sep)) out.push_back(trim(item));
+  return out;
+}
+
+using KvMap = std::map<std::string, std::string>;
+
+KvMap parse_kv(const std::vector<std::string>& fields, const std::string& ctx) {
+  KvMap kv;
+  for (const auto& f : fields) {
+    if (f.empty()) continue;
+    const auto eq = f.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault plan: expected key=value in '" + f + "' (" + ctx + ")");
+    }
+    kv[trim(f.substr(0, eq))] = trim(f.substr(eq + 1));
+  }
+  return kv;
+}
+
+double take_num(KvMap& kv, const std::string& key, double fallback, bool required,
+                const std::string& ctx) {
+  auto it = kv.find(key);
+  if (it == kv.end()) {
+    if (required) throw std::invalid_argument("fault plan: missing '" + key + "' in " + ctx);
+    return fallback;
+  }
+  const std::string text = it->second;
+  kv.erase(it);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad number for '" + key + "': '" + text + "'");
+  }
+}
+
+int take_index(KvMap& kv, const std::string& key, int fallback, bool required,
+               const std::string& ctx) {
+  auto it = kv.find(key);
+  if (it != kv.end() && it->second == "all") {
+    kv.erase(it);
+    return -1;
+  }
+  return static_cast<int>(take_num(kv, key, fallback, required, ctx));
+}
+
+void reject_leftovers(const KvMap& kv, const std::string& ctx) {
+  if (!kv.empty()) {
+    throw std::invalid_argument("fault plan: unknown key '" + kv.begin()->first + "' in " + ctx);
+  }
+}
+
+FaultEvent parse_event(const std::string& kind_name, KvMap kv) {
+  FaultEvent ev;
+  if (kind_name == "diskfail") {
+    ev.kind = FaultKind::kDiskFail;
+    ev.io_index = take_index(kv, "io", 0, true, kind_name);
+    ev.member = take_index(kv, "member", 0, false, kind_name);
+    if (ev.member < 0) {
+      throw std::invalid_argument("fault plan: diskfail needs a single member (not 'all')");
+    }
+    ev.at = take_num(kv, "at", 0, false, kind_name);
+    const double restore = take_num(kv, "restore", 0, false, kind_name);
+    if (restore > 0 && restore <= ev.at) {
+      throw std::invalid_argument("fault plan: diskfail restore must be after at");
+    }
+    ev.outage = restore > 0 ? restore - ev.at : 0;
+  } else if (kind_name == "transient") {
+    ev.kind = FaultKind::kDiskTransient;
+    ev.io_index = take_index(kv, "io", 0, true, kind_name);
+    ev.member = take_index(kv, "member", -1, false, kind_name);
+    ev.at = take_num(kv, "from", 0, false, kind_name);
+    ev.until = take_num(kv, "until", 0, true, kind_name);
+    ev.max_errors = static_cast<std::uint64_t>(take_num(kv, "max", 1, false, kind_name));
+  } else if (kind_name == "slow") {
+    ev.kind = FaultKind::kDiskSlow;
+    ev.io_index = take_index(kv, "io", 0, true, kind_name);
+    ev.member = take_index(kv, "member", -1, false, kind_name);
+    ev.at = take_num(kv, "from", 0, false, kind_name);
+    ev.until = take_num(kv, "until", 0, true, kind_name);
+    ev.factor = take_num(kv, "factor", 4.0, false, kind_name);
+  } else if (kind_name == "crash") {
+    ev.kind = FaultKind::kNodeCrash;
+    ev.io_index = take_index(kv, "io", 0, true, kind_name);
+    ev.at = take_num(kv, "at", 0, false, kind_name);
+    ev.outage = take_num(kv, "outage", 0.1, true, kind_name);
+  } else if (kind_name == "link") {
+    ev.kind = FaultKind::kLinkDegrade;
+    ev.io_index = take_index(kv, "io", 0, true, kind_name);
+    ev.at = take_num(kv, "from", 0, false, kind_name);
+    ev.until = take_num(kv, "until", 0, true, kind_name);
+    ev.factor = take_num(kv, "factor", 10.0, false, kind_name);
+  } else {
+    throw std::invalid_argument("fault plan: unknown event kind '" + kind_name + "'");
+  }
+  reject_leftovers(kv, kind_name);
+  return ev;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kDiskFail: return "diskfail";
+    case FaultKind::kDiskTransient: return "transient";
+    case FaultKind::kDiskSlow: return "slow";
+    case FaultKind::kNodeCrash: return "crash";
+    case FaultKind::kLinkDegrade: return "link";
+  }
+  return "unknown";
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  if (chaos_seed != 0) {
+    out << "chaos(seed=" << chaos_seed << ", events=" << chaos_events
+        << ", horizon=" << chaos_horizon << "s)";
+    if (!events.empty()) out << " + ";
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) out << "; ";
+    const auto& e = events[i];
+    out << to_string(e.kind) << "[io=" << e.io_index;
+    if (e.member >= 0) out << ", member=" << e.member;
+    out << ", t=" << e.at;
+    if (e.until > 0) out << ".." << e.until;
+    if (e.outage > 0) out << ", outage=" << e.outage;
+    out << "]";
+  }
+  return out.str();
+}
+
+FaultPlan parse_plan(const std::string& text) {
+  FaultPlan plan;
+  for (const auto& part : split(text, ';')) {
+    if (part.empty()) continue;
+    const auto colon = part.find(':');
+    if (colon == std::string::npos) {
+      // Chaos form: bare key=value pairs, seed required.
+      auto kv = parse_kv(split(part, ','), "chaos");
+      plan.chaos_seed = static_cast<std::uint64_t>(take_num(kv, "seed", 0, true, "chaos"));
+      if (plan.chaos_seed == 0) {
+        throw std::invalid_argument("fault plan: chaos seed must be nonzero");
+      }
+      plan.chaos_events = static_cast<int>(take_num(kv, "events", 4, false, "chaos"));
+      plan.chaos_horizon = take_num(kv, "horizon", 0.5, false, "chaos");
+      reject_leftovers(kv, "chaos");
+      continue;
+    }
+    const std::string kind_name = trim(part.substr(0, colon));
+    plan.events.push_back(
+        parse_event(kind_name, parse_kv(split(part.substr(colon + 1), ','), kind_name)));
+  }
+  if (plan.empty()) throw std::invalid_argument("fault plan: empty plan");
+  return plan;
+}
+
+std::vector<FaultEvent> chaos_expand(const FaultPlan& plan, int nio, int members) {
+  std::vector<FaultEvent> out;
+  if (plan.chaos_seed == 0 || nio <= 0 || members <= 0) return out;
+  sim::Rng rng(plan.chaos_seed);
+  const sim::SimTime horizon = plan.chaos_horizon;
+  std::vector<bool> member_lost(static_cast<std::size_t>(nio), false);
+  for (int i = 0; i < plan.chaos_events; ++i) {
+    FaultEvent ev;
+    ev.io_index = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(nio - 1)));
+    const sim::SimTime start = rng.uniform(0.02, 0.75) * horizon;
+    const sim::SimTime span = rng.uniform(0.1, 0.3) * horizon;
+    const double roll = rng.uniform01();
+    if (roll < 0.30) {
+      ev.kind = FaultKind::kDiskTransient;
+      ev.member = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(members - 1)));
+      ev.at = start;
+      ev.until = start + span;
+      ev.max_errors = rng.uniform_int(1, 4);
+    } else if (roll < 0.55) {
+      ev.kind = FaultKind::kDiskSlow;
+      ev.member = -1;
+      ev.at = start;
+      ev.until = start + span;
+      ev.factor = rng.uniform(2.0, 8.0);
+    } else if (roll < 0.75) {
+      ev.kind = FaultKind::kNodeCrash;
+      ev.at = start;
+      // Survivable by construction: the outage stays far below the default
+      // 2 s request budget, so clients out-wait it and recover.
+      ev.outage = rng.uniform(0.02, 0.25);
+    } else if (roll < 0.90 && members >= 2 &&
+               !member_lost[static_cast<std::size_t>(ev.io_index)]) {
+      ev.kind = FaultKind::kDiskFail;
+      // One lost member per array keeps parity reconstruction possible.
+      member_lost[static_cast<std::size_t>(ev.io_index)] = true;
+      ev.member = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(members - 2)));
+      ev.at = start;
+    } else {
+      ev.kind = FaultKind::kLinkDegrade;
+      ev.at = start;
+      ev.until = start + span;
+      ev.factor = rng.uniform(4.0, 16.0);
+    }
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace ppfs::fault

@@ -1,0 +1,71 @@
+// FaultPlan: a deterministic, seed-driven schedule of fault events.
+//
+// A plan is either written out explicitly —
+//
+//   "crash:io=1,at=0.1,outage=0.15;transient:io=0,from=0,until=0.3,max=4"
+//
+// — or generated from a seed ("seed=42,events=5,horizon=0.5"), in which
+// case the concrete events are derived from the seed with sim::Rng at arm
+// time (when the machine shape is known). Either way, the same (seed, plan)
+// replays the identical fault schedule, so the SimCheck determinism digest
+// holds across runs.
+//
+// Event times are relative to the moment the plan is armed (the start of
+// the read phase in workload::Experiment), not absolute simulation time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ppfs::fault {
+
+enum class FaultKind : std::uint8_t {
+  kDiskFail,       // member lost at `at`; optional restore after `outage`
+  kDiskTransient,  // up to `max_errors` transient errors in [at, until)
+  kDiskSlow,       // service-time multiplier `factor` in [at, until)
+  kNodeCrash,      // I/O node down at `at`, restarted after `outage`
+  kLinkDegrade,    // mesh links at the I/O node slowed by `factor` in [at, until)
+};
+
+const char* to_string(FaultKind k) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDiskTransient;
+  int io_index = 0;    // target I/O node; -1 = every I/O node
+  int member = -1;     // RAID member for disk kinds; -1 = every member
+  sim::SimTime at = 0;       // window start / trigger time
+  sim::SimTime until = 0;    // window end (window kinds)
+  sim::SimTime outage = 0;   // kNodeCrash: down time; kDiskFail: 0 = never restored
+  double factor = 1.0;       // slowdown multiplier (kDiskSlow, kLinkDegrade)
+  std::uint64_t max_errors = ~0ull;  // kDiskTransient cap
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // explicit events
+
+  // Chaos mode: seed != 0 generates `chaos_events` additional events over
+  // [0, chaos_horizon) at arm time, constrained to survivable faults.
+  std::uint64_t chaos_seed = 0;
+  int chaos_events = 4;
+  sim::SimTime chaos_horizon = 0.5;
+
+  bool empty() const { return events.empty() && chaos_seed == 0; }
+  std::string summary() const;
+};
+
+/// Parse the `--faults` grammar: ';'-separated events, each
+/// "kind:key=value,..." — or "seed=S[,events=N][,horizon=T]" for chaos
+/// mode. Throws std::invalid_argument on malformed input.
+FaultPlan parse_plan(const std::string& text);
+
+/// Expand the chaos portion of a plan into concrete events for a machine
+/// with `nio` I/O nodes of `members` RAID members each. Deterministic in
+/// plan.chaos_seed; generated faults are survivable by construction (at
+/// most one member failure per array, outages well under the default retry
+/// budget).
+std::vector<FaultEvent> chaos_expand(const FaultPlan& plan, int nio, int members);
+
+}  // namespace ppfs::fault

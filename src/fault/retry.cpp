@@ -1,0 +1,17 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+
+namespace ppfs::fault {
+
+sim::SimTime backoff_delay(const RetryPolicy& p, std::uint32_t attempt, sim::Rng& rng) {
+  double step = p.base_backoff_s;
+  for (std::uint32_t i = 0; i < attempt && step < p.max_backoff_s; ++i) {
+    step *= p.multiplier;
+  }
+  step = std::min(step, static_cast<double>(p.max_backoff_s));
+  const double spread = p.jitter > 0 ? rng.uniform(-p.jitter, p.jitter) : 0.0;
+  return std::max(step * (1.0 + spread), 0.0);
+}
+
+}  // namespace ppfs::fault

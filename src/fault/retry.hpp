@@ -1,0 +1,29 @@
+// RPC retry policy: bounded exponential backoff with deterministic jitter.
+//
+// The policy lives in PfsParams so one knob set covers every client; the
+// jitter stream comes from a per-client sim::Rng so two clients backing off
+// the same fault desynchronize (no retry convoys) while the whole schedule
+// stays reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::fault {
+
+struct RetryPolicy {
+  std::uint32_t max_retries = 6;         // reissues after the first attempt
+  sim::SimTime base_backoff_s = 0.002;   // first backoff step
+  double multiplier = 2.0;               // exponential growth per attempt
+  double jitter = 0.25;                  // +/- fraction of the step
+  sim::SimTime max_backoff_s = 0.1;      // cap on any single step
+  sim::SimTime total_budget_s = 2.0;     // per-request deadline, incl. recovery waits
+};
+
+/// Backoff delay before reissue number `attempt` (0-based: the delay taken
+/// after the first failure). Deterministic given the Rng stream.
+sim::SimTime backoff_delay(const RetryPolicy& p, std::uint32_t attempt, sim::Rng& rng);
+
+}  // namespace ppfs::fault

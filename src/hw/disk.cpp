@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/error.hpp"
+
 namespace ppfs::hw {
 
 double DiskParams::seek_time_s(std::uint64_t cylinder_distance) const {
@@ -67,7 +69,14 @@ sim::Task<void> Disk::transfer(std::uint64_t lba, ByteCount bytes, bool write) {
       sim_.spawn(elevator_dispatch());
     }
     co_await req.grant->wait();
-    co_await service(lba, bytes, write, sectors);
+    try {
+      co_await service(lba, bytes, write, sectors);
+    } catch (...) {
+      // The dispatcher is joined on `done`; an injected error must still
+      // release it or the elevator wedges forever.
+      pending_.at(id).done->set();
+      throw;
+    }
     pending_.at(id).done->set();
     co_return;
   }
@@ -92,6 +101,25 @@ void Disk::inject_slowdown(double factor, SimTime from, SimTime until) {
   slow_windows_.push_back(SlowWindow{factor, from, until});
 }
 
+void Disk::inject_transient_errors(SimTime from, SimTime until, std::uint64_t max_errors) {
+  if (until <= from) {
+    throw std::invalid_argument("Disk::inject_transient_errors: empty window");
+  }
+  transient_windows_.push_back(TransientWindow{from, until, max_errors});
+}
+
+bool Disk::consume_transient_error() {
+  const SimTime now = sim_.now();
+  for (TransientWindow& w : transient_windows_) {
+    if (now >= w.from && now < w.until && w.budget > 0) {
+      --w.budget;
+      ++transient_errors_fired_;
+      return true;
+    }
+  }
+  return false;
+}
+
 double Disk::slowdown_factor_now() const {
   double f = 1.0;
   const SimTime now = sim_.now();
@@ -103,6 +131,13 @@ double Disk::slowdown_factor_now() const {
 
 sim::Task<void> Disk::service(std::uint64_t lba, ByteCount bytes, bool write,
                               std::uint64_t sectors) {
+  if (consume_transient_error()) {
+    // The drive accepted the command, spent its command processing time,
+    // then returned a medium error; head state is unchanged.
+    co_await sim_.delay(params_.controller_overhead_s);
+    throw fault::FaultError(fault::ErrorCause::kDiskTransient,
+                            name_ + ": injected transient error");
+  }
   SimTime t = params_.controller_overhead_s;
   const bool sequential = (lba == next_sequential_lba_);
   if (sequential && !write) {

@@ -93,6 +93,14 @@ class Disk {
   void inject_slowdown(double factor, SimTime from, SimTime until);
   std::uint64_t slowed_ops() const noexcept { return slowed_ops_; }
 
+  /// Fault injection: up to `max_errors` requests whose service starts in
+  /// [from, until) fail with fault::FaultError(kDiskTransient) after the
+  /// controller overhead (command accepted, medium error returned). Models
+  /// transient/latent-sector errors; a retry of the same request succeeds
+  /// once the window's budget is spent.
+  void inject_transient_errors(SimTime from, SimTime until, std::uint64_t max_errors);
+  std::uint64_t transient_errors_fired() const noexcept { return transient_errors_fired_; }
+
   // Instrumentation.
   std::uint64_t ops() const noexcept { return ops_; }
   ByteCount bytes_transferred() const noexcept { return bytes_; }
@@ -134,6 +142,15 @@ class Disk {
   double slowdown_factor_now() const;
   std::vector<SlowWindow> slow_windows_;
   std::uint64_t slowed_ops_ = 0;
+
+  struct TransientWindow {
+    SimTime from;
+    SimTime until;
+    std::uint64_t budget;
+  };
+  bool consume_transient_error();
+  std::vector<TransientWindow> transient_windows_;
+  std::uint64_t transient_errors_fired_ = 0;
 
   std::uint64_t head_cylinder_ = 0;
   std::uint64_t next_sequential_lba_ = ~0ull;  // track-cache continuation point

@@ -49,6 +49,31 @@ int MeshNetwork::hop_count(NodeId src, NodeId dst) const {
   return std::abs(sx - dx) + std::abs(sy - dy);
 }
 
+void MeshNetwork::inject_node_slowdown(NodeId node, double factor, SimTime from,
+                                       SimTime until) {
+  check_node(node);
+  if (factor <= 0) {
+    throw std::invalid_argument("MeshNetwork::inject_node_slowdown: factor must be > 0");
+  }
+  degraded_windows_.push_back(DegradedWindow{node, factor, from, until});
+}
+
+double MeshNetwork::degrade_factor_now(NodeId src, NodeId dst,
+                                       const std::vector<int>& path) const {
+  if (degraded_windows_.empty()) return 1.0;
+  double f = 1.0;
+  const SimTime now = sim_.now();
+  for (const DegradedWindow& w : degraded_windows_) {
+    if (now < w.from || now >= w.until) continue;
+    bool touches = src == w.node || dst == w.node;
+    for (std::size_t i = 0; !touches && i < path.size(); ++i) {
+      touches = path[i] / 4 == w.node;  // link_id encodes its source node
+    }
+    if (touches) f *= w.factor;
+  }
+  return f;
+}
+
 sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
   check_node(src);
   check_node(dst);
@@ -63,7 +88,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
   }
 
   auto path = route(src, dst);
-  const double transfer =
+  double transfer =
       static_cast<double>(path.size()) * cfg_.hop_latency +
       static_cast<double>(bytes) / cfg_.link_bandwidth;
 
@@ -74,6 +99,14 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
   std::vector<sim::ResourceGuard> held;
   held.reserve(ordered.size());
   for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+
+  // Degradation is evaluated at wire time (after circuit setup), so a
+  // window that opens while a message waits for links still applies.
+  const double degrade = degrade_factor_now(src, dst, path);
+  if (degrade != 1.0) {
+    transfer *= degrade;
+    ++degraded_messages_;
+  }
 
   if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
     std::ostringstream msg;

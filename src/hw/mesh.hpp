@@ -58,6 +58,15 @@ class MeshNetwork {
   int hop_count(NodeId src, NodeId dst) const;
   const MeshConfig& config() const noexcept { return cfg_; }
 
+  /// Fault injection: degrade the mesh around `node` — any message whose
+  /// source, destination, or path touches it has its wire time multiplied
+  /// by `factor` while the transfer starts in [from, until). Models a
+  /// flaky router or backplane partition window (a large factor is an
+  /// effective partition); overlapping windows compound. Delivery always
+  /// eventually happens — wormhole circuits do not drop data.
+  void inject_node_slowdown(NodeId node, double factor, SimTime from, SimTime until);
+  std::uint64_t degraded_messages() const noexcept { return degraded_messages_; }
+
   std::uint64_t messages() const noexcept { return messages_; }
   ByteCount bytes_moved() const noexcept { return bytes_; }
   /// Total time the given directed link spent occupied.
@@ -68,11 +77,21 @@ class MeshNetwork {
   int link_id(NodeId node, int dir) const { return node * 4 + dir; }
   void check_node(NodeId n) const;
 
+  struct DegradedWindow {
+    NodeId node;
+    double factor;
+    SimTime from;
+    SimTime until;
+  };
+  double degrade_factor_now(NodeId src, NodeId dst, const std::vector<int>& path) const;
+
   sim::Simulation& sim_;
   MeshConfig cfg_;
   sim::Tracer* tracer_;
   std::vector<std::unique_ptr<sim::Resource>> links_;
   std::vector<SimTime> link_busy_;
+  std::vector<DegradedWindow> degraded_windows_;
+  std::uint64_t degraded_messages_ = 0;
 
   std::uint64_t messages_ = 0;
   ByteCount bytes_ = 0;

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/error.hpp"
+#include "sim/check/audit.hpp"
 #include "sim/when_all.hpp"
 
 namespace ppfs::hw {
@@ -26,6 +28,21 @@ RaidArray::RaidArray(sim::Simulation& s, std::string name, RaidParams params,
     members_.push_back(std::make_unique<Disk>(
         s, name_ + (is_parity ? "/parity" : "/d" + std::to_string(i)), params_.disk, tracer_));
   }
+  failed_.assign(members_.size(), false);
+}
+
+void RaidArray::fail_member(std::size_t i) {
+  if (!failed_.at(i)) {
+    failed_[i] = true;
+    ++failed_count_;
+  }
+}
+
+void RaidArray::restore_member(std::size_t i) {
+  if (failed_.at(i)) {
+    failed_[i] = false;
+    --failed_count_;
+  }
 }
 
 sim::Task<void> RaidArray::hold_bus(ByteCount bytes) {
@@ -42,21 +59,58 @@ sim::Task<void> RaidArray::transfer(std::uint64_t lba, ByteCount bytes, bool wri
   const ByteCount per_member =
       (bytes + params_.data_disks - 1) / params_.data_disks;
 
+  std::size_t dead_data = 0;
+  bool parity_dead = false;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i]) continue;
+    if (i == parity_index()) {
+      parity_dead = true;
+    } else {
+      ++dead_data;
+    }
+  }
+  // RAID-3 survives exactly one lost data member, and only with a live
+  // parity drive to reconstruct from.
+  if (dead_data > 1 || (dead_data == 1 && (!params_.dedicated_parity || parity_dead))) {
+    throw fault::FaultError(fault::ErrorCause::kDiskFailed,
+                            name_ + ": member set unreadable (lost " +
+                                std::to_string(dead_data + (parity_dead ? 1 : 0)) +
+                                " members)");
+  }
+  const bool reconstruct = !write && dead_data == 1;
+
   if (tracer_ && tracer_->enabled(sim::TraceCat::kDisk)) {
     std::ostringstream msg;
     msg << (write ? "write" : "read") << " lba=" << lba << " bytes=" << bytes
-        << " per_member=" << per_member;
+        << " per_member=" << per_member << (reconstruct ? " [degraded]" : "");
     tracer_->log(sim::TraceCat::kDisk, sim_.now(), name_, msg.str());
   }
 
   std::vector<sim::Task<void>> parts;
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    const bool is_parity = params_.dedicated_parity && i == members_.size() - 1;
-    if (is_parity && !write) continue;  // parity drive idle on reads
+    if (failed_[i]) continue;  // lost member: its share comes from parity
+    const bool is_parity = i == parity_index();
+    // The parity drive is idle on healthy reads but must be read to
+    // reconstruct a lost data member's share.
+    if (is_parity && !write && !reconstruct) continue;
     parts.push_back(members_[i]->transfer(lba, per_member, write));
   }
   parts.push_back(hold_bus(bytes));
-  co_await sim::when_all(sim_, std::move(parts));
+  // Propagating join: an injected transient error on one member must
+  // surface to the caller as a retryable fault, not kill the run.
+  co_await sim::when_all_propagate(sim_, std::move(parts));
+
+  if (reconstruct) {
+    // XOR of the surviving data members + parity regenerates the lost share.
+    co_await sim_.delay(static_cast<double>(bytes) / params_.xor_bandwidth);
+    ++reconstructed_reads_;
+    reconstructed_bytes_ += bytes;
+    if (auto* a = sim_.auditor()) {
+      a->on_fault_observed();
+      a->on_fault_reconstructed();
+    }
+  }
+  if (write && (dead_data > 0 || parity_dead)) ++degraded_writes_;
 
   ++ops_;
   bytes_ += bytes;

@@ -35,6 +35,9 @@ struct RaidParams {
   double bus_bandwidth = 4.0e6;
   /// Per-request bus arbitration/command overhead.
   double bus_overhead_s = 0.0004;
+  /// XOR rate (bytes/s) for parity reconstruction during degraded-mode
+  /// reads — the i860 host recomputing the lost member's share.
+  double xor_bandwidth = 25.0e6;
 
   static RaidParams scsi8();
   static RaidParams scsi16();  // "effectively quadruples the bandwidth"
@@ -64,11 +67,27 @@ class RaidArray {
   std::size_t member_count() const noexcept { return members_.size(); }
   Disk& member(std::size_t i) { return *members_.at(i); }
 
+  /// Degraded mode: mark a member (data or parity) as lost. Reads with one
+  /// lost data member are reconstructed from the survivors plus parity —
+  /// charging the extra parity-member read and XOR time — and stay
+  /// byte-correct. A second loss, or a data loss on an array without a
+  /// parity drive, makes transfers fail with FaultError(kDiskFailed).
+  void fail_member(std::size_t i);
+  void restore_member(std::size_t i);
+  bool member_failed(std::size_t i) const { return failed_.at(i); }
+  bool degraded() const noexcept { return failed_count_ > 0; }
+
   std::uint64_t ops() const noexcept { return ops_; }
   ByteCount bytes_transferred() const noexcept { return bytes_; }
+  std::uint64_t reconstructed_reads() const noexcept { return reconstructed_reads_; }
+  ByteCount reconstructed_bytes() const noexcept { return reconstructed_bytes_; }
+  std::uint64_t degraded_writes() const noexcept { return degraded_writes_; }
 
  private:
   sim::Task<void> hold_bus(ByteCount bytes);
+  std::size_t parity_index() const {
+    return params_.dedicated_parity ? members_.size() - 1 : members_.size();
+  }
 
   sim::Simulation& sim_;
   std::string name_;
@@ -76,9 +95,14 @@ class RaidArray {
   sim::Tracer* tracer_;
   std::vector<std::unique_ptr<Disk>> members_;  // data disks + optional parity (last)
   sim::Resource bus_;
+  std::vector<bool> failed_;
+  std::size_t failed_count_ = 0;
 
   std::uint64_t ops_ = 0;
   ByteCount bytes_ = 0;
+  std::uint64_t reconstructed_reads_ = 0;
+  ByteCount reconstructed_bytes_ = 0;
+  std::uint64_t degraded_writes_ = 0;
 };
 
 }  // namespace ppfs::hw

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/retry.hpp"
+#include "sim/channel.hpp"
+#include "sim/check/audit.hpp"
 #include "sim/when_all.hpp"
 
 namespace ppfs::pfs {
@@ -24,7 +27,8 @@ PfsClient::PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs)
               }
               co_return co_await read_at(req.fd, req.offset, req.length, req.out,
                                          req.fastpath);
-            }) {
+            }),
+      rpc_rng_(0x5eedull ^ ((static_cast<std::uint64_t>(rank) + 1) * 0x9e3779b97f4a7c15ull)) {
   if (rank < 0 || nprocs <= 0 || rank >= nprocs) {
     throw std::invalid_argument("PfsClient: bad rank/nprocs");
   }
@@ -117,31 +121,108 @@ sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
                                         std::span<std::byte> out, bool fastpath) {
   const auto ctrl = fs_.params().control_message_bytes;
   const hw::NodeId io_node = machine_.io_node(req.io_index);
+  const sim::SimTime deadline =
+      machine_.simulation().now() + fs_.params().retry.total_budget_s;
 
-  // Request message to the I/O node.
-  co_await machine_.mesh().send(mesh_node_, io_node, ctrl);
+  for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
+    PfsServer& srv = fs_.server(req.io_index);
+    std::vector<std::byte> staging(req.length);
+    ByteCount got = 0;
+    fault::ErrorCause cause{};
+    bool failed = false;
+    try {
+      ++rpc_stats_.attempts;
+      // A reply is only trustworthy if the server did not crash while the
+      // request was in flight; reads are idempotent, so a lost reply is
+      // simply reissued.
+      const std::uint64_t epoch = srv.crash_epoch();
 
-  // Server reads the stripe file (staging represents the wire image; on
-  // the fast path the real machine DMAs disk->network without a server
-  // copy, so no server CPU copy is charged beyond request handling).
-  std::vector<std::byte> staging(req.length);
-  const ByteCount got = co_await fs_.server(req.io_index)
-                            .read(meta.stripe_inos[req.group_slot], req.local_offset,
-                                  req.length, staging, fastpath);
+      // Request message to the I/O node.
+      co_await machine_.mesh().send(mesh_node_, io_node, ctrl);
 
-  // Data travels back to the compute node.
-  co_await machine_.mesh().send(io_node, mesh_node_, got > 0 ? got : ctrl);
+      // Server reads the stripe file (staging represents the wire image; on
+      // the fast path the real machine DMAs disk->network without a server
+      // copy, so no server CPU copy is charged beyond request handling).
+      got = co_await srv.read(meta.stripe_inos[req.group_slot], req.local_offset,
+                              req.length, staging, fastpath);
 
-  // Scatter the contiguous stripe-file bytes into their file-space slots
-  // in the user buffer ("Fast Path reads data directly from the disks to
-  // the user's buffer" — no extra CPU copy is charged here).
-  ByteCount cursor = 0;
-  for (const StripePiece& piece : req.pieces) {
-    if (cursor >= got) break;
-    const ByteCount n = std::min<ByteCount>(piece.length, got - cursor);
-    std::memcpy(out.data() + (piece.file_offset - base), staging.data() + cursor, n);
-    cursor += n;
+      if (srv.crash_epoch() != epoch) {
+        throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                                "io" + std::to_string(req.io_index) +
+                                    " reply lost in crash");
+      }
+
+      // Data travels back to the compute node.
+      co_await machine_.mesh().send(io_node, mesh_node_, got > 0 ? got : ctrl);
+    } catch (const fault::FaultError& e) {
+      cause = e.cause();
+      failed = true;
+    }
+    if (failed) {
+      ++failures;
+      co_await rpc_recover(req.io_index, cause, attempt, failures, deadline);
+      continue;
+    }
+    if (failures > 0) {
+      rpc_stats_.retried_ok += failures;
+      if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
+    }
+
+    // Scatter the contiguous stripe-file bytes into their file-space slots
+    // in the user buffer ("Fast Path reads data directly from the disks to
+    // the user's buffer" — no extra CPU copy is charged here).
+    ByteCount cursor = 0;
+    for (const StripePiece& piece : req.pieces) {
+      if (cursor >= got) break;
+      const ByteCount n = std::min<ByteCount>(piece.length, got - cursor);
+      std::memcpy(out.data() + (piece.file_offset - base), staging.data() + cursor, n);
+      cursor += n;
+    }
+    co_return;
   }
+}
+
+sim::Task<void> PfsClient::rpc_recover(int io_index, fault::ErrorCause cause,
+                                       std::uint32_t attempt, std::uint32_t failures,
+                                       sim::SimTime deadline) {
+  auto& sim = machine_.simulation();
+  const fault::RetryPolicy& rp = fs_.params().retry;
+  ++rpc_stats_.cause_counts[static_cast<std::size_t>(cause)];
+  if (auto* a = sim.auditor()) a->on_fault_observed();
+
+  if (attempt >= rp.max_retries || sim.now() >= deadline) {
+    // Budget exhausted: surface a typed error instead of hanging. The
+    // terminal resolution covers every failed attempt of this request.
+    ++rpc_stats_.terminal_errors;
+    if (auto* a = sim.auditor()) a->on_fault_terminal(failures);
+    throw fault::FaultError(cause, "io" + std::to_string(io_index) + " RPC failed after " +
+                                       std::to_string(failures) + " attempt(s): " +
+                                       std::string(fault::to_string(cause)));
+  }
+
+  PfsServer& srv = fs_.server(io_index);
+  if (cause == fault::ErrorCause::kNodeDown && srv.down()) {
+    // Park until the node restarts — but never past the request deadline.
+    ++rpc_stats_.down_waits;
+    const sim::SimTime wait_start = sim.now();
+    const bool up =
+        co_await sim::wait_with_timeout(sim, srv.up_event(), deadline - sim.now());
+    rpc_stats_.recovery_wait_time += sim.now() - wait_start;
+    if (!up) {
+      ++rpc_stats_.timeouts;
+      ++rpc_stats_.cause_counts[static_cast<std::size_t>(fault::ErrorCause::kRpcTimeout)];
+      ++rpc_stats_.terminal_errors;
+      if (auto* a = sim.auditor()) a->on_fault_terminal(failures);
+      throw fault::FaultError(fault::ErrorCause::kRpcTimeout,
+                              "io" + std::to_string(io_index) +
+                                  " still down at request deadline");
+    }
+  }
+
+  const sim::SimTime backoff = fault::backoff_delay(rp, attempt, rpc_rng_);
+  rpc_stats_.backoff_time += backoff;
+  ++rpc_stats_.retries;
+  co_await sim.delay(backoff);
 }
 
 sim::Task<ByteCount> PfsClient::read_at(int fd, FileOffset off, ByteCount len,
@@ -159,7 +240,10 @@ sim::Task<ByteCount> PfsClient::read_at(int fd, FileOffset off, ByteCount len,
   for (auto& req : requests) {
     parts.push_back(fetch_extent(meta, std::move(req), off, out, fastpath));
   }
-  co_await sim::when_all(machine_.simulation(), std::move(parts));
+  // Propagating variant: a terminal fault in one extent surfaces here as a
+  // typed error after the sibling transfers settle, instead of killing the
+  // whole simulation.
+  co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
   co_return len;
 }
 
@@ -262,6 +346,8 @@ sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
                                         std::span<const std::byte> in, bool fastpath) {
   const auto ctrl = fs_.params().control_message_bytes;
   const hw::NodeId io_node = machine_.io_node(req.io_index);
+  const sim::SimTime deadline =
+      machine_.simulation().now() + fs_.params().retry.total_budget_s;
 
   // Gather file-space pieces into the contiguous stripe-file image.
   std::vector<std::byte> staging(req.length);
@@ -271,11 +357,41 @@ sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
     cursor += piece.length;
   }
 
-  // Data to the I/O node, then the server write, then the ack.
-  co_await machine_.mesh().send(mesh_node_, io_node, req.length);
-  co_await fs_.server(req.io_index)
-      .write(meta.stripe_inos[req.group_slot], req.local_offset, staging, fastpath);
-  co_await machine_.mesh().send(io_node, mesh_node_, ctrl);
+  for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
+    PfsServer& srv = fs_.server(req.io_index);
+    fault::ErrorCause cause{};
+    bool failed = false;
+    try {
+      ++rpc_stats_.attempts;
+      // Writes of the same staging image are idempotent, so an ack lost in
+      // a crash is handled by simply rewriting.
+      const std::uint64_t epoch = srv.crash_epoch();
+
+      // Data to the I/O node, then the server write, then the ack.
+      co_await machine_.mesh().send(mesh_node_, io_node, req.length);
+      co_await srv.write(meta.stripe_inos[req.group_slot], req.local_offset, staging,
+                         fastpath);
+      if (srv.crash_epoch() != epoch) {
+        throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                                "io" + std::to_string(req.io_index) +
+                                    " ack lost in crash");
+      }
+      co_await machine_.mesh().send(io_node, mesh_node_, ctrl);
+    } catch (const fault::FaultError& e) {
+      cause = e.cause();
+      failed = true;
+    }
+    if (failed) {
+      ++failures;
+      co_await rpc_recover(req.io_index, cause, attempt, failures, deadline);
+      continue;
+    }
+    if (failures > 0) {
+      rpc_stats_.retried_ok += failures;
+      if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
+    }
+    co_return;
+  }
 }
 
 sim::Task<void> PfsClient::write_at(int fd, FileOffset off, std::span<const std::byte> in) {
@@ -290,7 +406,7 @@ sim::Task<void> PfsClient::write_at(int fd, FileOffset off, std::span<const std:
   for (auto& req : requests) {
     parts.push_back(store_extent(meta, std::move(req), off, in, /*fastpath=*/true));
   }
-  co_await sim::when_all(machine_.simulation(), std::move(parts));
+  co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
   meta.size = std::max<ByteCount>(meta.size, off + in.size());
 }
 

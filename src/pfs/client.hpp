@@ -20,6 +20,7 @@
 //             the I/O-node buffer cache so N nodes trigger one disk read
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -27,10 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "fault/error.hpp"
 #include "hw/machine.hpp"
 #include "pfs/async.hpp"
 #include "pfs/filesystem.hpp"
 #include "pfs/io_mode.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
@@ -67,6 +70,25 @@ struct ClientStats {
   ByteCount bytes_written = 0;
   sim::SimTime read_time = 0;   // wall time inside read() calls
   sim::SimTime write_time = 0;
+};
+
+/// Counters of the RPC reliability envelope wrapped around every
+/// fetch/store extent RPC (see fetch_extent): attempts, recovery behavior,
+/// and per-cause failure classification.
+struct RpcStats {
+  std::uint64_t attempts = 0;         // RPC attempts issued (incl. reissues)
+  std::uint64_t retries = 0;          // reissues after a failed attempt
+  std::uint64_t retried_ok = 0;       // failed attempts eventually healed by retry
+  std::uint64_t down_waits = 0;       // recovery waits for a down I/O node
+  std::uint64_t timeouts = 0;         // recovery waits that hit the deadline
+  std::uint64_t terminal_errors = 0;  // RPCs that gave up (typed error to caller)
+  std::array<std::uint64_t, fault::kErrorCauseCount> cause_counts{};
+  sim::SimTime backoff_time = 0;        // summed backoff sleeps
+  sim::SimTime recovery_wait_time = 0;  // summed waits for node restart
+
+  std::uint64_t fault_signal() const {
+    return retries + down_waits + timeouts + terminal_errors;
+  }
 };
 
 class PfsClient {
@@ -133,8 +155,10 @@ class PfsClient {
   int rank() const noexcept { return rank_; }
   int nprocs() const noexcept { return nprocs_; }
   const ClientStats& stats() const noexcept { return stats_; }
+  const RpcStats& rpc_stats() const noexcept { return rpc_stats_; }
   ArtQueue& arts() noexcept { return arts_; }
   hw::Machine& machine() noexcept { return machine_; }
+  PfsFileSystem& filesystem() noexcept { return fs_; }
   hw::NodeCpu& cpu() { return machine_.cpu(mesh_node_); }
 
  private:
@@ -152,11 +176,20 @@ class PfsClient {
   sim::Task<void> metadata_rpc();
 
   /// Move one stripe extent: request message out, server read, data back,
-  /// scatter into the user buffer.
+  /// scatter into the user buffer. Wrapped in the RPC reliability envelope:
+  /// bounded retries with backoff, recovery waits on a down node, and a
+  /// per-request deadline; exhausting the budget throws FaultError.
   sim::Task<void> fetch_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
                                std::span<std::byte> out, bool fastpath);
   sim::Task<void> store_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
                                std::span<const std::byte> in, bool fastpath);
+
+  /// Shared failure path of the envelope: account the caught fault, wait
+  /// out a down node (bounded by `deadline`), back off before the reissue
+  /// — or give up by throwing a terminal FaultError. `failures` counts the
+  /// failed attempts of this request so far (including the current one).
+  sim::Task<void> rpc_recover(int io_index, fault::ErrorCause cause, std::uint32_t attempt,
+                              std::uint32_t failures, sim::SimTime deadline);
 
   sim::Task<void> write_at(int fd, FileOffset off, std::span<const std::byte> in);
 
@@ -171,6 +204,8 @@ class PfsClient {
   std::map<int, OpenFile> fds_;
   int next_fd_ = 3;
   ClientStats stats_;
+  RpcStats rpc_stats_;
+  sim::Rng rpc_rng_;  // deterministic per-rank backoff-jitter stream
 };
 
 }  // namespace ppfs::pfs

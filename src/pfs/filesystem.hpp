@@ -52,6 +52,14 @@ class PfsFileSystem {
 
   PfsServer& server(int io_index) { return *servers_.at(io_index); }
   int server_count() const { return static_cast<int>(servers_.size()); }
+  /// True while any I/O daemon is in a crash outage — the prefetch engine
+  /// uses this to pause speculation until the system is whole again.
+  bool any_server_down() const {
+    for (const auto& s : servers_) {
+      if (s->down()) return true;
+    }
+    return false;
+  }
   PointerService& pointers() noexcept { return pointers_; }
   CollectiveService& collectives() noexcept { return collectives_; }
 

@@ -1,5 +1,7 @@
 #include "pfs/server.hpp"
 
+#include "fault/error.hpp"
+
 namespace ppfs::pfs {
 
 PfsServer::PfsServer(hw::Machine& machine, int io_index, const PfsParams& params)
@@ -10,10 +12,31 @@ PfsServer::PfsServer(hw::Machine& machine, int io_index, const PfsParams& params
       device_(machine.raid(io_index)),
       content_(params.ufs.block_bytes),
       ufs_(machine.simulation(), "ufs-io" + std::to_string(io_index), device_, content_,
-           &machine.cpu(mesh_node_), params.ufs, &machine.tracer()) {}
+           &machine.cpu(mesh_node_), params.ufs, &machine.tracer()),
+      up_ev_(machine.simulation()) {
+  up_ev_.set();
+}
+
+void PfsServer::crash() {
+  if (down_) return;
+  down_ = true;
+  ++crash_epoch_;
+  up_ev_.reset();
+}
+
+void PfsServer::restore() {
+  if (!down_) return;
+  down_ = false;
+  ufs_.drop_caches();  // restart comes back cold
+  up_ev_.set();
+}
 
 sim::Task<ByteCount> PfsServer::read(ufs::InodeNum ino, FileOffset local_off, ByteCount len,
                                      std::span<std::byte> out, bool fastpath) {
+  if (down_) {
+    throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                            "io" + std::to_string(io_index_) + " daemon down");
+  }
   ++requests_;
   co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
   co_return co_await ufs_.read(ino, local_off, len, out, fastpath);
@@ -21,6 +44,10 @@ sim::Task<ByteCount> PfsServer::read(ufs::InodeNum ino, FileOffset local_off, By
 
 sim::Task<void> PfsServer::write(ufs::InodeNum ino, FileOffset local_off,
                                  std::span<const std::byte> in, bool fastpath) {
+  if (down_) {
+    throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                            "io" + std::to_string(io_index_) + " daemon down");
+  }
   ++requests_;
   co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
   co_await ufs_.write(ino, local_off, in, fastpath);

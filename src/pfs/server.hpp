@@ -10,7 +10,9 @@
 #include <span>
 #include <string>
 
+#include "fault/retry.hpp"
 #include "hw/machine.hpp"
+#include "sim/event.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 #include "ufs/block_store.hpp"
@@ -31,6 +33,8 @@ struct PfsParams {
   double pointer_service_time = 15.0e-6;
   /// Max asynchronous request threads processing one client's queue.
   std::size_t max_arts_per_client = 4;
+  /// Client-side RPC reliability envelope (retries, backoff, deadline).
+  fault::RetryPolicy retry;
 };
 
 class PfsServer {
@@ -55,6 +59,22 @@ class PfsServer {
 
   std::uint64_t requests_served() const noexcept { return requests_; }
 
+  // --- crash/restart fault model ---
+  /// Take the I/O daemon down. Requests arriving while down fail with
+  /// FaultError(kNodeDown); requests already in service lose their reply
+  /// (the crash epoch changes under them).
+  void crash();
+  /// Restart the daemon: the node comes back with a cold buffer cache and
+  /// wakes every client parked on up_event().
+  void restore();
+  bool down() const noexcept { return down_; }
+  /// Set while the server is up; reset during an outage. Clients bound
+  /// their recovery wait on this with wait_with_timeout.
+  sim::Event& up_event() noexcept { return up_ev_; }
+  /// Incremented by every crash. A reply is trustworthy only if the epoch
+  /// is unchanged across the request's service time.
+  std::uint64_t crash_epoch() const noexcept { return crash_epoch_; }
+
  private:
   hw::Machine& machine_;
   int io_index_;
@@ -64,6 +84,9 @@ class PfsServer {
   ufs::ContentStore content_;
   ufs::Ufs ufs_;
   std::uint64_t requests_ = 0;
+  bool down_ = false;
+  std::uint64_t crash_epoch_ = 0;
+  sim::Event up_ev_;
 };
 
 }  // namespace ppfs::pfs

@@ -45,6 +45,46 @@ void PrefetchEngine::note_useless(FdState& st, std::uint64_t count) {
   }
 }
 
+void PrefetchEngine::shed_all() {
+  auto* a = auditor();
+  for (auto& [fd, st] : lists_) {
+    (void)fd;
+    for (auto& buf : st.list.drain()) {
+      ++stats_.shed;
+      if (a) a->on_buffer_discarded(this);
+      retire(buf);
+    }
+  }
+}
+
+bool PrefetchEngine::fault_gate() {
+  const std::uint64_t signal = client_.rpc_stats().fault_signal();
+  const bool down = client_.filesystem().any_server_down();
+  if (signal != last_fault_signal_ || down) {
+    // Fresh fault activity (or an ongoing outage): shed every speculative
+    // buffer — its data may predate a crash, and its disk traffic competes
+    // with recovery — and pause prediction.
+    last_fault_signal_ = signal;
+    if (!fault_paused_) {
+      fault_paused_ = true;
+      ++stats_.fault_pauses;
+    }
+    quiet_reads_ = 0;
+    shed_all();
+    ++stats_.fault_skips;
+    return true;
+  }
+  if (fault_paused_) {
+    ++quiet_reads_;
+    if (quiet_reads_ < cfg_.fault_resume_reads) {
+      ++stats_.fault_skips;
+      return true;
+    }
+    fault_paused_ = false;  // system quiet again: resume speculation
+  }
+  return false;
+}
+
 sim::Task<void> PrefetchEngine::reap(PrefetchBufferList::Handle buf) {
   // The ART is still writing into buf->data; hold the buffer until it
   // finishes, then let it die with this frame.
@@ -118,6 +158,7 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
 
 sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len) {
   if (!cfg_.enabled || len == 0) co_return;
+  if (fault_gate()) co_return;
   FdState& st = lists_[fd];
   auto& list = st.list;
 

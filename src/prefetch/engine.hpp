@@ -50,6 +50,12 @@ struct PrefetchConfig {
   bool adaptive = false;
   std::size_t adaptive_cutoff = 4;
   std::size_t adaptive_probe_period = 8;
+
+  /// Fault-aware degradation: when the client's RPC envelope reports fault
+  /// activity (or an I/O daemon is down), the engine sheds every resident
+  /// prefetch buffer and pauses speculation; it resumes after this many
+  /// consecutive fault-free reads.
+  std::size_t fault_resume_reads = 3;
 };
 
 struct PrefetchStats {
@@ -60,6 +66,9 @@ struct PrefetchStats {
   std::uint64_t stale_discarded = 0; // overlapping-but-wrong buffers dropped
   std::uint64_t wasted = 0;          // never-consumed buffers freed at close
   std::uint64_t throttled_skips = 0; // prefetches suppressed by the throttle
+  std::uint64_t shed = 0;            // buffers dropped on fault activity
+  std::uint64_t fault_pauses = 0;    // times speculation was paused by faults
+  std::uint64_t fault_skips = 0;     // reads that issued no prefetch while paused
   sim::ByteCount bytes_prefetched = 0;
   sim::ByteCount bytes_served = 0;
   sim::SimTime wait_time = 0;        // stall on in-flight hits
@@ -92,6 +101,8 @@ class PrefetchEngine final : public pfs::Prefetcher {
   std::size_t resident_buffers(int fd) const;
   /// True if the adaptive throttle has suppressed prefetching on this fd.
   bool throttled(int fd) const;
+  /// True while fault activity has speculation paused.
+  bool fault_paused() const noexcept { return fault_paused_; }
 
  private:
   /// Park a buffer whose ART may still be writing into it; it is freed
@@ -107,6 +118,12 @@ class PrefetchEngine final : public pfs::Prefetcher {
   };
 
   void note_useless(FdState& st, std::uint64_t count);
+  /// Drop every resident prefetch buffer across all fds (fault response:
+  /// speculative disk work only competes with recovery traffic).
+  void shed_all();
+  /// Returns true if after_read should skip issuing prefetches because of
+  /// fault activity (sheds buffers / counts quiet reads as a side effect).
+  bool fault_gate();
   /// The SimCheck auditor of the simulation this engine runs in (nullptr
   /// when auditing is compiled out).
   sim::check::Auditor* auditor() const;
@@ -116,6 +133,9 @@ class PrefetchEngine final : public pfs::Prefetcher {
   std::unique_ptr<Predictor> predictor_;
   std::map<int, FdState> lists_;
   PrefetchStats stats_;
+  std::uint64_t last_fault_signal_ = 0;  // client RPC fault counter last seen
+  bool fault_paused_ = false;
+  std::uint64_t quiet_reads_ = 0;  // fault-free reads since the pause
 };
 
 /// Convenience: construct an engine and attach it to the client. The

@@ -89,9 +89,9 @@ class Channel {
 };
 
 /// Wait for `ev` with a deadline. Resolves true if the event fired, false
-/// on timeout. If the event never fires, a small helper process stays
-/// parked on it for the rest of the run (harmless; it holds only the
-/// shared state alive).
+/// on timeout. Entirely callback-driven: the loser of the race is a plain
+/// queue callback holding the shared state, never a parked process, so
+/// live_processes() is unaffected even when the event never fires.
 inline Task<bool> wait_with_timeout(Simulation& sim, Event& ev, SimTime dt) {
   if (ev.is_set()) co_return true;
   struct State {
@@ -107,10 +107,9 @@ inline Task<bool> wait_with_timeout(Simulation& sim, Event& ev, SimTime dt) {
       state->either.set();
     }
   });
-  sim.spawn([](Event& src, std::shared_ptr<State> st) -> Task<void> {
-    co_await src.wait();
-    if (!st->either.is_set()) st->either.set();
-  }(ev, state));
+  ev.on_set([state] {
+    if (!state->either.is_set()) state->either.set();
+  });
 
   co_await state->either.wait();
   co_return !state->timed_out;

@@ -33,6 +33,7 @@ const char* to_string(Violation v) noexcept {
     case Violation::kResumeAfterDestroy: return "resume-after-destroy";
     case Violation::kResourceAccounting: return "resource-accounting";
     case Violation::kBufferConservation: return "buffer-conservation";
+    case Violation::kFaultConservation: return "fault-conservation";
   }
   return "unknown";
 }
@@ -180,6 +181,43 @@ void Auditor::check_buffer_conservation(SimTime now, const void* owner, bool in_
   }
 }
 
+// --- fault conservation -----------------------------------------------------
+
+void Auditor::on_fault_retried_ok(std::uint64_t n) {
+  faults_.retried_ok += n;
+  if (faults_.resolved() > faults_.observed) {
+    report(sim_.now(), Violation::kFaultConservation,
+           "fault resolved as retried-ok that was never observed");
+  }
+}
+
+void Auditor::on_fault_reconstructed(std::uint64_t n) {
+  faults_.reconstructed += n;
+  if (faults_.resolved() > faults_.observed) {
+    report(sim_.now(), Violation::kFaultConservation,
+           "fault resolved as reconstructed that was never observed");
+  }
+}
+
+void Auditor::on_fault_terminal(std::uint64_t n) {
+  faults_.terminal += n;
+  if (faults_.resolved() > faults_.observed) {
+    report(sim_.now(), Violation::kFaultConservation,
+           "fault resolved as terminal that was never observed");
+  }
+}
+
+void Auditor::check_fault_conservation(SimTime now, bool in_destructor) {
+  const FaultLedger l = faults_;
+  if (l.observed != l.resolved()) {
+    report(now, Violation::kFaultConservation,
+           "observed=" + std::to_string(l.observed) + " != retried-ok=" +
+               std::to_string(l.retried_ok) + " + reconstructed=" +
+               std::to_string(l.reconstructed) + " + terminal=" + std::to_string(l.terminal),
+           /*may_throw=*/!in_destructor);
+  }
+}
+
 // --- seeded injection -------------------------------------------------------
 
 void Auditor::arm_injection(Violation kind, std::uint64_t seed) {
@@ -219,6 +257,10 @@ void Auditor::fire_injection(SimTime now) {
     case Violation::kBufferConservation:
       on_buffer_allocated(this, 1);  // allocated, never disposed
       check_buffer_conservation(now, this);
+      break;
+    case Violation::kFaultConservation:
+      on_fault_observed(1);  // observed, never resolved
+      check_fault_conservation(now);
       break;
   }
 }

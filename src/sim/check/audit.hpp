@@ -19,6 +19,10 @@
 //  * buffer conservation — every PrefetchBuffer allocated must end in
 //                     exactly one terminal state: consumed by a read,
 //                     discarded as stale/evicted, or freed at file close.
+//  * fault conservation — every fault that manifests to a handler must end
+//                     in exactly one terminal state: healed by retry,
+//                     repaired by parity reconstruction, or surfaced as a
+//                     terminal error in stats. No silently swallowed faults.
 //
 // The auditor is compile-time selectable (PPFS_SIMCHECK, default ON; see the
 // top-level CMakeLists). When enabled, every Simulation owns one and checks
@@ -53,6 +57,7 @@ enum class Violation : std::uint8_t {
   kResumeAfterDestroy,  // dispatching a frame whose owner destroyed it
   kResourceAccounting,  // release > acquired, or units leaked at ~Resource
   kBufferConservation,  // allocated != consumed + discarded + freed-at-close
+  kFaultConservation,   // observed != retried-ok + reconstructed + terminal
 };
 
 const char* to_string(Violation v) noexcept;
@@ -117,6 +122,30 @@ class Auditor {
   /// when the owner has no resident buffers (e.g. after the last close).
   void check_buffer_conservation(SimTime now, const void* owner, bool in_destructor = false);
 
+  // --- fault conservation (run-wide ledger) ---
+  //
+  // Observation happens once per manifested fault, at its ultimate handler:
+  // the client RPC envelope (per caught attempt failure), the RAID array
+  // (per reconstructed read, observed and resolved atomically), or a
+  // best-effort consumer that absorbs the error (e.g. server readahead).
+  // Lower layers that merely throw do not observe — the error is still in
+  // flight to whoever deals with it.
+  struct FaultLedger {
+    std::uint64_t observed = 0;
+    std::uint64_t retried_ok = 0;
+    std::uint64_t reconstructed = 0;
+    std::uint64_t terminal = 0;
+    std::uint64_t resolved() const { return retried_ok + reconstructed + terminal; }
+  };
+  void on_fault_observed(std::uint64_t n = 1) { faults_.observed += n; }
+  void on_fault_retried_ok(std::uint64_t n = 1);
+  void on_fault_reconstructed(std::uint64_t n = 1);
+  void on_fault_terminal(std::uint64_t n = 1);
+  const FaultLedger& fault_ledger() const noexcept { return faults_; }
+  /// Verify observed == retried-ok + reconstructed + terminal. Call when no
+  /// requests are in flight (end of run / teardown).
+  void check_fault_conservation(SimTime now, bool in_destructor = false);
+
   // --- seeded violation injection ---
   /// Arm a deliberate violation of `kind`, committed through the real
   /// kernel/accounting paths after a seed-derived number of audited events.
@@ -147,6 +176,7 @@ class Auditor {
   std::unordered_map<const void*, std::uint64_t> pending_;  // frame -> times queued
   std::unordered_map<const void*, std::int64_t> resource_outstanding_;
   std::unordered_map<const void*, BufferLedger> buffers_;
+  FaultLedger faults_;
   std::vector<ViolationRecord> violations_;
 
   bool injection_armed_ = false;

@@ -9,7 +9,18 @@ void Event::set() {
   set_ = true;
   auto waiters = std::move(waiters_);
   waiters_.clear();
+  auto callbacks = std::move(callbacks_);
+  callbacks_.clear();
   for (auto h : waiters) sim_.schedule_at(sim_.now(), h);
+  for (auto& cb : callbacks) sim_.call_at(sim_.now(), std::move(cb));
+}
+
+void Event::on_set(std::function<void()> cb) {
+  if (set_) {
+    sim_.call_at(sim_.now(), std::move(cb));
+  } else {
+    callbacks_.push_back(std::move(cb));
+  }
 }
 
 void Condition::notify_all() {

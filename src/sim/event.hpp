@@ -18,6 +18,7 @@
 
 #include <coroutine>
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -39,6 +40,12 @@ class Event {
   /// Re-arm a set event. No effect on waiters (there are none if set).
   void reset() noexcept { set_ = false; }
 
+  /// Register a one-shot callback that runs (through the event queue, at
+  /// the current time) when the event is next set — immediately if it is
+  /// already set. Unlike wait(), this needs no coroutine frame, so a
+  /// callback on an event that never fires leaks no parked process.
+  void on_set(std::function<void()> cb);
+
   /// Awaitable: resume immediately if set, otherwise when set() is called.
   auto wait() {
     struct Awaiter {
@@ -56,6 +63,7 @@ class Event {
   Simulation& sim_;
   bool set_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::function<void()>> callbacks_;
 };
 
 class Condition {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -23,6 +25,22 @@ inline Task<void> notify_when_done(Task<void> t, std::size_t& remaining, Event& 
   if (--remaining == 0) done.set();
 }
 
+struct JoinState {
+  explicit JoinState(Simulation& s) : done(s) {}
+  Event done;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+inline Task<void> settle_when_done(Task<void> t, std::shared_ptr<JoinState> st) {
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    if (!st->first_error) st->first_error = std::current_exception();
+  }
+  if (--st->remaining == 0) st->done.set();
+}
+
 }  // namespace detail
 
 /// Await completion of every task in `tasks`. Children run concurrently.
@@ -36,6 +54,23 @@ inline Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
     sim.spawn(detail::notify_when_done(std::move(t), remaining, done));
   }
   co_await done.wait();
+}
+
+/// Like when_all, but a child's exception is captured and rethrown to the
+/// awaiter once every child has settled, instead of going through the fatal
+/// Simulation error channel. The first error (in completion order) wins.
+/// Use for fan-outs whose children may fail with recoverable fault errors —
+/// a degraded RAID member or a crashed I/O node must surface to the caller
+/// as a catchable error, not kill the run.
+inline Task<void> when_all_propagate(Simulation& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto st = std::make_shared<detail::JoinState>(sim);
+  st->remaining = tasks.size();
+  for (auto& t : tasks) {
+    sim.spawn(detail::settle_when_done(std::move(t), st));
+  }
+  co_await st->done.wait();
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 }  // namespace ppfs::sim

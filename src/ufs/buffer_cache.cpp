@@ -32,31 +32,48 @@ void BufferCache::evict_if_needed() {
 }
 
 sim::Task<void> BufferCache::ensure_valid(std::uint64_t phys) {
-  auto it = entries_.find(phys);
-  if (it != entries_.end()) {
-    if (it->second.valid) {
-      ++hits_;
-      touch(phys, it->second);
-      co_return;
+  bool waited = false;
+  for (;;) {
+    auto it = entries_.find(phys);
+    if (it != entries_.end()) {
+      if (it->second.valid) {
+        if (waited) co_return;  // woken by the filler; it already made the entry MRU
+        ++hits_;
+        touch(phys, it->second);
+        co_return;
+      }
+      // Someone else is filling this block right now; wait for them, then
+      // re-check — the fill may have failed and dropped the entry.
+      ++fill_waits_;
+      waited = true;
+      co_await it->second.filling->wait();
+      continue;
     }
-    // Someone else is filling this block right now; wait for them.
-    ++fill_waits_;
-    co_await it->second.filling->wait();
+
+    ++misses_;
+    Entry& e = entries_[phys];
+    e.data = std::make_unique<std::byte[]>(block_bytes_);
+    e.filling = std::make_unique<sim::Event>(sim_);
+    try {
+      co_await fill_(phys, std::span<std::byte>(e.data.get(), block_bytes_));
+    } catch (...) {
+      // A failed fill must wake any waiters (they re-check, find the entry
+      // gone, and retry the fill themselves) and drop the entry so the
+      // block is not wedged forever; the error surfaces to this caller.
+      auto bad = entries_.find(phys);
+      bad->second.filling->set();
+      entries_.erase(bad);
+      throw;
+    }
+    // The map may have rehashed during the await; re-find.
+    auto& entry = entries_.at(phys);
+    entry.valid = true;
+    lru_.push_front(phys);
+    entry.lru = lru_.begin();
+    entry.filling->set();
+    evict_if_needed();
     co_return;
   }
-
-  ++misses_;
-  Entry& e = entries_[phys];
-  e.data = std::make_unique<std::byte[]>(block_bytes_);
-  e.filling = std::make_unique<sim::Event>(sim_);
-  co_await fill_(phys, std::span<std::byte>(e.data.get(), block_bytes_));
-  // The map may have rehashed during the await; re-find.
-  auto& entry = entries_.at(phys);
-  entry.valid = true;
-  lru_.push_front(phys);
-  entry.lru = lru_.begin();
-  entry.filling->set();
-  evict_if_needed();
 }
 
 sim::Task<void> BufferCache::read(std::uint64_t phys, ByteCount offset_in_block,
@@ -98,6 +115,17 @@ sim::Task<void> BufferCache::write(std::uint64_t phys, ByteCount offset_in_block
   touch(phys, e);
   // Write-through to the device (whole-block image).
   co_await flush_(phys, std::span<const std::byte>(e.data.get(), block_bytes_));
+}
+
+void BufferCache::clear() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.valid) {
+      lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void BufferCache::invalidate(std::uint64_t phys) {

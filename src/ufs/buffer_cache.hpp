@@ -56,6 +56,10 @@ class BufferCache {
   /// Drop a block if present (used when a file is deleted).
   void invalidate(std::uint64_t phys);
 
+  /// Drop every valid block — an I/O node restart comes back with a cold
+  /// cache. Entries mid-fill are kept; their fills land normally.
+  void clear();
+
   bool contains(std::uint64_t phys) const { return entries_.count(phys) != 0; }
   std::size_t resident_blocks() const noexcept { return entries_.size(); }
   std::size_t capacity_blocks() const noexcept { return capacity_; }

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "fault/error.hpp"
+#include "sim/check/audit.hpp"
 
 namespace ppfs::ufs {
 
@@ -138,7 +142,18 @@ sim::Task<void> Ufs::readahead_one(std::uint64_t phys) {
   // Warm the cache; a concurrent demand read of the same block joins this
   // fill instead of issuing a second disk access.
   std::vector<std::byte> sink(1);  // copy one byte: negligible, keeps API uniform
-  co_await cache_.read(phys, 0, sink);
+  try {
+    co_await cache_.read(phys, 0, sink);
+  } catch (const fault::FaultError&) {
+    // Readahead is best-effort: an injected disk fault here must not kill
+    // the run (this is a detached process). The fault terminates in this
+    // stat — a later demand read retries the block under its own envelope.
+    ++stats_.readahead_errors;
+    if (auto* a = sim_.auditor()) {
+      a->on_fault_observed();
+      a->on_fault_terminal();
+    }
+  }
 }
 
 void Ufs::issue_readahead(const Inode& node, std::uint64_t last_block) {

@@ -56,6 +56,7 @@ struct UfsStats {
   std::uint64_t disk_runs = 0;        // device transfers issued by fast path
   std::uint64_t coalesced_blocks = 0; // blocks moved in multi-block runs
   std::uint64_t readaheads_issued = 0;
+  std::uint64_t readahead_errors = 0; // best-effort fills absorbed a fault
   sim::ByteCount bytes_read = 0;
   sim::ByteCount bytes_written = 0;
 };
@@ -89,6 +90,10 @@ class Ufs {
   const UfsParams& params() const noexcept { return params_; }
   const UfsStats& stats() const noexcept { return stats_; }
   const BufferCache& cache() const noexcept { return cache_; }
+
+  /// Crash/restart support: the restarted I/O node comes back with a cold
+  /// buffer cache.
+  void drop_caches() { cache_.clear(); }
   const std::string& name() const noexcept { return name_; }
   std::uint64_t total_blocks() const noexcept { return allocator_.total_blocks(); }
   std::uint64_t free_blocks() const noexcept { return allocator_.free_blocks(); }

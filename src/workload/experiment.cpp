@@ -6,8 +6,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/error.hpp"
+#include "fault/injector.hpp"
 #include "pfs/client.hpp"
 #include "pfs/filesystem.hpp"
+#include "sim/check/audit.hpp"
 #include "sim/event.hpp"
 #include "sim/simulation.hpp"
 #include "sim/when_all.hpp"
@@ -55,6 +58,7 @@ struct NodeOutcome {
   ByteCount bytes = 0;
   std::uint64_t reads = 0;
   std::uint64_t verify_failures = 0;
+  std::uint64_t app_errors = 0;  // FaultErrors surfaced to the application
   std::vector<SimTime> latencies;  // per read call
 };
 
@@ -99,11 +103,21 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
           fd, (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size);
     }
     const SimTime call_start = client.machine().simulation().now();
-    const ByteCount got = co_await client.read(fd, buf);
+    ByteCount got = 0;
+    bool read_failed = false;
+    try {
+      got = co_await client.read(fd, buf);
+    } catch (const fault::FaultError&) {
+      // A terminal fault (retry budget exhausted) surfaces to the
+      // application as a failed read; the run carries on with the next
+      // request, like a real program retrying at its own level would.
+      read_failed = true;
+    }
     out.latencies.push_back(client.machine().simulation().now() - call_start);
     out.bytes += got;
     ++out.reads;
-    if (w.verify && got > 0) {
+    if (read_failed) ++out.app_errors;
+    if (!read_failed && w.verify && got > 0) {
       const FileOffset off =
           expected_offset(w, plan, rank, nprocs, k, client.tell(fd), got);
       if (find_pattern_mismatch(plan.tag, off,
@@ -223,6 +237,12 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
   std::vector<sim::SimTime> read_time_base(N);
   for (int r = 0; r < N; ++r) read_time_base[r] = clients[r]->stats().read_time;
 
+  // --- arm the fault plan (event times relative to the read-phase start) ---
+  fault::FaultInjector injector(machine, fs);
+  if (!w.faults.empty()) {
+    injector.arm(w.faults, sim.now());
+  }
+
   // --- read phase ---
   sim::Barrier start_line(sim, N);
   std::vector<NodeOutcome> outcomes(N);
@@ -243,6 +263,7 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
     res.total_bytes += outcomes[r].bytes;
     res.reads += outcomes[r].reads;
     res.verify_failures += outcomes[r].verify_failures;
+    res.faults.app_errors += outcomes[r].app_errors;
     t0 = std::min(t0, outcomes[r].start);
     t1 = std::max(t1, outcomes[r].end);
     for (SimTime lat : outcomes[r].latencies) res.read_latencies.add(lat);
@@ -260,8 +281,31 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
       res.prefetch.bytes_prefetched += st.bytes_prefetched;
       res.prefetch.bytes_served += st.bytes_served;
       res.prefetch.wait_time += st.wait_time;
+      res.prefetch.shed += st.shed;
+      res.prefetch.fault_pauses += st.fault_pauses;
+      res.prefetch.fault_skips += st.fault_skips;
+      res.faults.shed_prefetches += st.shed;
+    }
+    const auto& rpc = clients[r]->rpc_stats();
+    res.faults.rpc_retries += rpc.retries;
+    res.faults.rpc_down_waits += rpc.down_waits;
+    res.faults.rpc_timeouts += rpc.timeouts;
+    res.faults.terminal_errors += rpc.terminal_errors;
+    res.faults.backoff_time += rpc.backoff_time;
+    res.faults.recovery_wait_time += rpc.recovery_wait_time;
+  }
+  res.faults.injected_events = static_cast<std::uint64_t>(injector.injected());
+  for (int io = 0; io < spec_.nio; ++io) {
+    hw::RaidArray& raid = machine.raid(io);
+    res.faults.reconstructed_reads += raid.reconstructed_reads();
+    res.faults.degraded_writes += raid.degraded_writes();
+    for (std::size_t m = 0; m < raid.member_count(); ++m) {
+      res.faults.disk_transients += raid.member(m).transient_errors_fired();
     }
   }
+  // With the run drained, the fault ledger must balance: every manifested
+  // fault was healed by retry, repaired by reconstruction, or is terminal.
+  if (auto* a = sim.auditor()) a->check_fault_conservation(sim.now());
   res.wall_elapsed = t1 - t0;
   res.mean_read_call_time =
       res.reads ? std::accumulate(res.node_read_time.begin(), res.node_read_time.end(), 0.0) /

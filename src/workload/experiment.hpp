@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/stats.hpp"
 #include "hw/machine.hpp"
 #include "sim/stats.hpp"
 #include "pfs/server.hpp"
@@ -51,6 +52,10 @@ struct ExperimentResult {
 
   prefetch::PrefetchStats prefetch;  // summed across nodes (zero w/o engine)
   std::uint64_t verify_failures = 0;
+
+  /// Fault/recovery counters summed across the whole stack (all zero on a
+  /// healthy run with an empty plan).
+  fault::FaultSummary faults;
 
   /// SimCheck determinism digest of the whole run (populate + read phase):
   /// the kernel's FNV-1a hash over every dispatched event. Two runs of the

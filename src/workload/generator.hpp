@@ -11,6 +11,7 @@
 #include <span>
 #include <string>
 
+#include "fault/plan.hpp"
 #include "pfs/io_mode.hpp"
 #include "pfs/stripe.hpp"
 #include "prefetch/engine.hpp"
@@ -54,6 +55,9 @@ struct WorkloadSpec {
   bool use_fastpath = true;
   /// Check every byte read against the written pattern (slower; tests on).
   bool verify = false;
+  /// Fault schedule armed at the start of the read phase (event times are
+  /// relative to that moment). Empty plan = healthy run.
+  fault::FaultPlan faults;
 };
 
 /// Deterministic file content so any data path bug is observable: byte at

@@ -89,6 +89,14 @@ the paper's metrics.
   --separate-files      each node reads a private file
   --own-region          M_UNIX/M_ASYNC scan own region instead of interleave
   --verify              check every byte against the written pattern
+  --faults <plan>       arm a fault plan at the start of the read phase.
+                        ';'-separated events "kind:key=val,...":
+                          crash:io=1,at=0.1,outage=0.15
+                          diskfail:io=0,member=1,at=0.05[,restore=0.2]
+                          transient:io=0,from=0,until=0.3[,member=2][,max=4]
+                          slow:io=0,from=0,until=0.3[,factor=4]
+                          link:io=0,from=0,until=0.3[,factor=3]
+                        or chaos mode: "seed=42[,events=5][,horizon=0.5]"
   --help                this text
 )";
 }
@@ -159,6 +167,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.workload.pattern = AccessPattern::kOwnRegion;
     } else if (a == "--verify") {
       opt.workload.verify = true;
+    } else if (a == "--faults") {
+      opt.workload.faults = fault::parse_plan(need_value(i, a));
+      ++i;
     } else {
       throw std::invalid_argument("unknown flag: '" + a + "' (try --help)");
     }

@@ -39,6 +39,26 @@ void print_result(const char* label, const ExperimentResult& r) {
                 (unsigned long long)p.stale_discarded, (unsigned long long)p.wasted,
                 (unsigned long long)p.throttled_skips, p.hit_ratio() * 100.0,
                 fmt_time(p.wait_time).c_str());
+    if (p.shed > 0 || p.fault_pauses > 0) {
+      std::printf("  prefetch faults: shed=%llu pauses=%llu skips=%llu\n",
+                  (unsigned long long)p.shed, (unsigned long long)p.fault_pauses,
+                  (unsigned long long)p.fault_skips);
+    }
+  }
+  if (!r.spec.faults.empty() || r.faults.any()) {
+    const auto& f = r.faults;
+    std::printf("  faults: injected=%llu transients=%llu reconstructed=%llu "
+                "degraded-writes=%llu\n",
+                (unsigned long long)f.injected_events,
+                (unsigned long long)f.disk_transients,
+                (unsigned long long)f.reconstructed_reads,
+                (unsigned long long)f.degraded_writes);
+    std::printf("  recovery: retries=%llu down-waits=%llu timeouts=%llu terminal=%llu "
+                "app-errors=%llu backoff=%s recovery-wait=%s\n",
+                (unsigned long long)f.rpc_retries, (unsigned long long)f.rpc_down_waits,
+                (unsigned long long)f.rpc_timeouts, (unsigned long long)f.terminal_errors,
+                (unsigned long long)f.app_errors, fmt_time(f.backoff_time).c_str(),
+                fmt_time(f.recovery_wait_time).c_str());
   }
 }
 
@@ -105,6 +125,9 @@ int main(int argc, char** argv) {
                 fmt_bytes(opt.workload.file_size).c_str(), opt.workload.compute_delay,
                 opt.workload.separate_files ? ", separate files" : "",
                 opt.workload.use_fastpath ? "" : ", buffered");
+    if (!opt.workload.faults.empty()) {
+      std::printf("faults:   %s\n\n", opt.workload.faults.summary().c_str());
+    }
 
     if (opt.selfcheck) {
       return run_selfcheck(exp, opt);
@@ -124,6 +147,7 @@ int main(int argc, char** argv) {
     } else {
       const auto r = exp.run(opt.workload);
       print_result(opt.workload.prefetch ? "prefetch:" : "no prefetch:", r);
+      if (r.verify_failures > 0) return 1;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
