@@ -1,10 +1,20 @@
-// Shared helpers for the paper-reproduction benches.
+// Shared helpers for the paper-reproduction benches: the banner/table
+// conventions, a common --jobs/--json/--quick argument parser, and the
+// JSON result emitter every bench and the ppfs_perf harness use to write
+// machine-readable BENCH_*.json artifacts.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "exp/sweep.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
 
@@ -19,6 +29,156 @@ using workload::fmt_bytes;
 using workload::fmt_double;
 using workload::fmt_percent;
 using workload::fmt_time;
+
+// ---------------------------------------------------------------------------
+// JSON result emitter. Deliberately tiny: insertion-ordered objects,
+// locale-independent numbers, and nothing the BENCH_*.json artifacts do
+// not need.
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// An insertion-ordered JSON object builder.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view k, const std::string& v) {
+    return raw(k, "\"" + json_escape(v) + "\"");
+  }
+  JsonObject& field(std::string_view k, const char* v) {
+    return field(k, std::string(v));
+  }
+  JsonObject& field(std::string_view k, double v) { return raw(k, json_number(v)); }
+  JsonObject& field(std::string_view k, int v) { return raw(k, std::to_string(v)); }
+  JsonObject& field(std::string_view k, std::uint64_t v) {
+    return raw(k, std::to_string(v));
+  }
+  JsonObject& field(std::string_view k, bool v) { return raw(k, v ? "true" : "false"); }
+  /// Pre-rendered JSON (a nested object or array).
+  JsonObject& raw(std::string_view k, const std::string& json) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + json_escape(k) + "\":" + json;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// A JSON array of pre-rendered values.
+class JsonArray {
+ public:
+  JsonArray& add(const JsonObject& o) { return add_raw(o.str()); }
+  JsonArray& add_raw(const std::string& json) {
+    if (!body_.empty()) body_ += ",";
+    body_ += json;
+    return *this;
+  }
+  std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+};
+
+/// Hex digest string as printed by ppfs_run ("%016llx").
+inline std::string fmt_digest(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+/// One BENCH_*.json row for a sweep outcome.
+inline JsonObject outcome_json(const exp::SweepOutcome& o) {
+  JsonObject row;
+  row.field("label", o.label);
+  if (!o.ok()) {
+    row.field("error", o.error);
+    return row;
+  }
+  row.field("read_bw_mbs", o.result.observed_read_bw_mbs)
+      .field("wall_bw_mbs", o.result.wall_bw_mbs)
+      .field("events", o.result.events_dispatched)
+      .field("digest", fmt_digest(o.result.digest))
+      .field("seconds", o.seconds);
+  return row;
+}
+
+/// Write `text` to `path`; exits the bench with an error on failure so CI
+/// never uploads a half-written artifact.
+inline void write_json_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text << "\n";
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared bench command line: every paper-figure bench accepts
+//   --jobs <n>   sweep worker threads (default 1 — serial, bit-identical)
+//   --json <p>   also write the results as a JSON artifact
+//   --quick      shrink the workload for smoke runs
+
+struct BenchArgs {
+  int jobs = 1;
+  std::string json_path;
+  bool quick = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--jobs" && i + 1 < argc) {
+      a.jobs = std::atoi(argv[++i]);
+      if (a.jobs < 1) a.jobs = 1;
+    } else if (s == "--json" && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else if (s == "--quick") {
+      a.quick = true;
+    } else {
+      std::cerr << "unknown bench flag: " << s
+                << " (supported: --jobs <n>, --json <path>, --quick)\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// Print sweep errors (if any) and return the bench exit code.
+inline int finish_sweep(const exp::SweepReport& report) {
+  for (const auto& o : report.outcomes) {
+    if (!o.ok()) std::cerr << "error: " << o.label << ": " << o.error << "\n";
+  }
+  return report.all_ok() ? 0 : 1;
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref,
                    const std::string& expectation) {

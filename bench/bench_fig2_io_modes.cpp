@@ -1,14 +1,18 @@
 // Figure 2: read performance of the PFS I/O modes vs request size
 // (8 compute nodes, 8 I/O nodes, all reading one shared 64KB-block PFS
 // file; "Separate Files" = each node reads a private file).
+//
+// 48 independent (mode, request-size) scenarios — the figure's whole grid
+// goes through the SweepRunner in one batch; --jobs N overlaps them.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "pfs/io_mode.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppfs;
   using namespace ppfs::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   banner("Figure 2: read performance of the PFS I/O modes",
          "Fig. 2 (File System Read Performance, 8 compute / 8 I/O nodes)",
@@ -16,11 +20,12 @@ int main() {
          "M_LOG and M_UNIX lowest (shared-pointer serialization); "
          "all rise with request size then saturate");
 
-  Experiment exp{MachineSpec{}};
+  const MachineSpec machine;
 
-  const std::vector<sim::ByteCount> request_sizes = {
+  std::vector<sim::ByteCount> request_sizes = {
       16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024,
       512 * 1024, 1024 * 1024, 2048 * 1024};
+  if (args.quick) request_sizes = {64 * 1024, 256 * 1024, 1024 * 1024};
 
   struct Series {
     std::string label;
@@ -33,25 +38,46 @@ int main() {
       {"M_ASYNC", pfs::IoMode::kAsync, false}, {"Separate Files", pfs::IoMode::kAsync, true},
   };
 
-  std::vector<std::string> headers = {"Request size"};
-  for (const auto& s : series) headers.push_back(s.label);
-  TextTable table(headers);
-
+  std::vector<exp::SweepJob> jobs;
   for (auto req : request_sizes) {
-    std::vector<std::string> row = {fmt_bytes(req)};
     for (const auto& s : series) {
       WorkloadSpec w;
       w.mode = s.mode;
       w.separate_files = s.separate;
       w.request_size = req;
-      w.file_size = file_size_for(req, exp.machine_spec().ncompute, 4);
-      const auto res = exp.run(w);
-      row.push_back(fmt_double(res.observed_read_bw_mbs, 2));
+      w.file_size = file_size_for(req, machine.ncompute, 4);
+      jobs.push_back({s.label + " " + fmt_bytes(req), machine, w});
+    }
+  }
+
+  const auto report = exp::run_sweep(jobs, args.jobs);
+  if (!report.all_ok()) return finish_sweep(report);
+
+  std::vector<std::string> headers = {"Request size"};
+  for (const auto& s : series) headers.push_back(s.label);
+  TextTable table(headers);
+  JsonArray rows;
+  for (std::size_t i = 0; i < request_sizes.size(); ++i) {
+    std::vector<std::string> row = {fmt_bytes(request_sizes[i])};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      const auto& o = report.outcomes[i * series.size() + j];
+      row.push_back(fmt_double(o.result.observed_read_bw_mbs, 2));
+      rows.add(outcome_json(o));
     }
     table.add_row(row);
-    std::cout << "." << std::flush;
   }
-  std::cout << "\n\nAggregate read bandwidth (MB/s) vs per-node request size:\n\n"
+  std::cout << "\nAggregate read bandwidth (MB/s) vs per-node request size:\n\n"
             << table.str() << std::endl;
+  std::printf("sweep: %zu scenarios, %d worker%s, %.3fs wall\n", report.outcomes.size(),
+              report.jobs, report.jobs == 1 ? "" : "s", report.seconds);
+
+  if (!args.json_path.empty()) {
+    JsonObject doc;
+    doc.field("bench", "fig2_io_modes")
+        .field("jobs", report.jobs)
+        .field("wall_seconds", report.seconds)
+        .raw("rows", rows.str());
+    write_json_file(args.json_path, doc.str());
+  }
   return 0;
 }

@@ -1,44 +1,70 @@
 // Table 1: PFS read performance with and without prefetching for an
 // I/O-bound workload (no computation between reads), M_RECORD mode,
 // stripe unit 64KB, stripe group 8.
+//
+// The scenarios are independent simulations, so they run through the
+// SweepRunner: --jobs N overlaps them on N worker threads while the table
+// (and every per-scenario digest) stays identical to a serial run.
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppfs;
   using namespace ppfs::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   banner("Table 1: read performance with/without prefetching (I/O bound)",
          "Tab. 1 (stripe unit 64KB, stripe group 8, no compute delay)",
          "prefetching ~ no-prefetching for all sizes; small (64KB) requests "
          "slightly WORSE with prefetching (buffer copy + issue overhead)");
 
-  Experiment exp{MachineSpec{}};
-  const int n = exp.machine_spec().ncompute;
+  const MachineSpec machine;
+  const int n = machine.ncompute;
+  const int rounds = args.quick ? 2 : 8;
 
-  TextTable table({"Request size (per node)", "File size", "Read B/W (MB/s) no prefetch",
-                   "Read B/W (MB/s) prefetch", "delta", "hit ratio"});
-
+  std::vector<exp::SweepJob> jobs;
   for (auto req : paper_request_sizes()) {
     WorkloadSpec base;
     base.mode = pfs::IoMode::kRecord;
     base.request_size = req;
-    base.file_size = file_size_for(req, n, 8);
+    base.file_size = file_size_for(req, n, rounds);
 
     auto pf = base;
     pf.prefetch = true;
+    jobs.push_back({fmt_bytes(req) + " no-prefetch", machine, base});
+    jobs.push_back({fmt_bytes(req) + " prefetch", machine, pf});
+  }
 
-    const auto r0 = exp.run(base);
-    const auto r1 = exp.run(pf);
+  const auto report = exp::run_sweep(jobs, args.jobs);
+  if (!report.all_ok()) return finish_sweep(report);
+
+  TextTable table({"Request size (per node)", "File size", "Read B/W (MB/s) no prefetch",
+                   "Read B/W (MB/s) prefetch", "delta", "hit ratio"});
+  JsonArray rows;
+  for (std::size_t i = 0; i + 1 < report.outcomes.size(); i += 2) {
+    const auto& r0 = report.outcomes[i].result;
+    const auto& r1 = report.outcomes[i + 1].result;
     const double delta = (r1.observed_read_bw_mbs - r0.observed_read_bw_mbs) /
                          r0.observed_read_bw_mbs;
-    table.add_row({fmt_bytes(req), fmt_bytes(base.file_size),
+    table.add_row({fmt_bytes(r0.spec.request_size), fmt_bytes(r0.spec.file_size),
                    fmt_double(r0.observed_read_bw_mbs, 2),
                    fmt_double(r1.observed_read_bw_mbs, 2), fmt_percent(delta),
                    fmt_percent(r1.prefetch.hit_ratio())});
-    std::cout << "." << std::flush;
+    rows.add(outcome_json(report.outcomes[i]));
+    rows.add(outcome_json(report.outcomes[i + 1]));
   }
-  std::cout << "\n\n" << table.str() << std::endl;
+  std::cout << "\n" << table.str() << std::endl;
+  std::printf("sweep: %zu scenarios, %d worker%s, %.3fs wall\n", report.outcomes.size(),
+              report.jobs, report.jobs == 1 ? "" : "s", report.seconds);
+
+  if (!args.json_path.empty()) {
+    JsonObject doc;
+    doc.field("bench", "table1_io_bound")
+        .field("jobs", report.jobs)
+        .field("wall_seconds", report.seconds)
+        .raw("rows", rows.str());
+    write_json_file(args.json_path, doc.str());
+  }
   return 0;
 }

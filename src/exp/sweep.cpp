@@ -1,0 +1,111 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "workload/report.hpp"
+
+namespace ppfs::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+SweepOutcome run_one(const SweepJob& job) {
+  SweepOutcome out;
+  out.label = job.label;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    out.result = workload::Experiment(job.machine).run(job.work);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown error";
+  }
+  out.seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace
+
+bool SweepReport::all_ok() const noexcept {
+  for (const auto& o : outcomes) {
+    if (!o.error.empty()) return false;
+  }
+  return true;
+}
+
+int SweepRunner::default_jobs() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+SweepReport SweepRunner::run(const std::vector<SweepJob>& batch) const {
+  SweepReport report;
+  report.jobs = jobs_;
+  report.outcomes.resize(batch.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(jobs_), batch.size()));
+  if (workers <= 1) {
+    // Serial reference path: submission order on the calling thread. This
+    // is the digest baseline the parallel path must reproduce exactly.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      report.outcomes[i] = run_one(batch[i]);
+    }
+  } else {
+    // Work-stealing-free pool: each worker claims the next unstarted job
+    // through the atomic counter and writes outcome slot i, which no other
+    // thread touches — the merge is lock-free and submission-ordered no
+    // matter which worker finishes first.
+    std::atomic<std::size_t> next{0};
+    const auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.size()) return;
+        report.outcomes[i] = run_one(batch[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  report.seconds = seconds_since(t0);
+  return report;
+}
+
+SweepReport run_sweep(const std::vector<SweepJob>& batch, int workers) {
+  return SweepRunner(workers).run(batch);
+}
+
+std::vector<SweepJob> paper_table_jobs(const workload::MachineSpec& machine,
+                                       const workload::WorkloadSpec& base, int rounds) {
+  const sim::ByteCount sizes[] = {64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024,
+                                  1024 * 1024};
+  std::vector<SweepJob> jobs;
+  jobs.reserve(std::size(sizes) * 2);
+  for (const sim::ByteCount req : sizes) {
+    for (const bool prefetch : {false, true}) {
+      SweepJob job;
+      job.machine = machine;
+      job.work = base;
+      job.work.request_size = req;
+      job.work.file_size = std::max<sim::ByteCount>(
+          req * static_cast<sim::ByteCount>(machine.ncompute) * rounds,
+          4 * 1024 * 1024);
+      job.work.prefetch = prefetch;
+      job.label =
+          workload::fmt_bytes(req) + (prefetch ? " prefetch" : " no-prefetch");
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace ppfs::exp

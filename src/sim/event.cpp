@@ -15,7 +15,7 @@ void Event::set() {
   for (auto& cb : callbacks) sim_.call_at(sim_.now(), std::move(cb));
 }
 
-void Event::on_set(std::function<void()> cb) {
+void Event::on_set(SmallFn cb) {
   if (set_) {
     sim_.call_at(sim_.now(), std::move(cb));
   } else {

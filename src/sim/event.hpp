@@ -18,10 +18,10 @@
 
 #include <coroutine>
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 #include "sim/simulation.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/types.hpp"
 
 namespace ppfs::sim {
@@ -44,7 +44,7 @@ class Event {
   /// the current time) when the event is next set — immediately if it is
   /// already set. Unlike wait(), this needs no coroutine frame, so a
   /// callback on an event that never fires leaks no parked process.
-  void on_set(std::function<void()> cb);
+  void on_set(SmallFn cb);
 
   /// Awaitable: resume immediately if set, otherwise when set() is called.
   auto wait() {
@@ -63,7 +63,7 @@ class Event {
   Simulation& sim_;
   bool set_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
-  std::vector<std::function<void()>> callbacks_;
+  std::vector<SmallFn> callbacks_;
 };
 
 class Condition {

@@ -1,0 +1,280 @@
+// EventQueue: the kernel's owned time-ordered queue, tie-batched.
+//
+// Discrete-event simulations of a parallel file system are saturated with
+// simultaneous events: every Resource grant, Event::set wakeup and Barrier
+// release lands at the current time, and lock-step compute nodes schedule
+// whole waves of message hops at identical future instants. A plain heap
+// pays a full O(log n) sift for each of them. This queue instead keeps one
+// heap node per *distinct pending time* (a "bucket") and appends ties to
+// that bucket's FIFO, so the common event costs a few stores, not a sift.
+//
+//   heap node   {time-bits, first-seq, first-payload, bucket}  — 4-ary heap
+//   bucket FIFO chunked list of {seq, payload}, drained in push order
+//   append cache 256-entry direct-mapped {time-bits -> open bucket}
+//
+// Dispatch order is exactly the kernel's determinism contract — earliest
+// time first, ties by schedule sequence. The subtle part is the append
+// cache: a push whose time misses the cache *closes* whichever bucket the
+// slot held and opens a fresh one. A closed bucket can never be appended
+// to again, so when several buckets share one time they hold disjoint,
+// ascending sequence ranges in creation order, and the heap's (time,
+// first-seq) tie-break still yields globally sorted output. Draining a
+// bucket just advances its FIFO — the refilled heap node keeps the
+// smallest remaining sequence for that time, so it stays on top without a
+// sift.
+//
+// Times are compared as their IEEE-754 bit patterns: the kernel never
+// schedules negative times (Simulation clamps to `now`), and non-negative
+// doubles order identically to their bit patterns, which makes every heap
+// comparison two integer compares instead of a double compare ladder.
+// (-0.0 is canonicalized to +0.0 on push; NaN times are a caller bug,
+// asserted in debug builds.)
+//
+// Payloads relocate as raw words (a coroutine handle or a trivially-
+// relocatable SmallFn), so sifts and FIFO traffic are plain copies — no
+// callable moves, no destructor calls, and no allocation once the pools
+// have grown to the run's high-water mark.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/small_fn.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::sim {
+
+class EventQueue {
+ public:
+  /// A popped event: exactly one of `h` (coroutine resumption) or `fn`
+  /// (plain callback) is engaged; `h` is null for callbacks.
+  struct Entry {
+    SimTime t = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> h{};
+    SmallFn fn;
+  };
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime top_time() const noexcept {
+    assert(count_ != 0);
+    return std::bit_cast<SimTime>(heap_.front().tb);
+  }
+
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    buckets_.reserve(n);
+    chunks_.reserve(n / kChunkCap + 1);
+    free_buckets_.reserve(n);
+    free_chunks_.reserve(n / kChunkCap + 1);
+  }
+
+  void push(SimTime t, std::uint64_t seq, std::coroutine_handle<> h) {
+    push_impl(t, seq, reinterpret_cast<std::uintptr_t>(h.address()), SmallFn{});
+  }
+
+  void push(SimTime t, std::uint64_t seq, SmallFn fn) {
+    push_impl(t, seq, 0, std::move(fn));
+  }
+
+  /// Remove and return the earliest event. Precondition: !empty().
+  Entry pop() {
+    assert(count_ != 0);
+    --count_;
+    Node& top = heap_.front();
+    Entry e{std::bit_cast<SimTime>(top.tb), top.seq0,
+            std::coroutine_handle<>::from_address(reinterpret_cast<void*>(top.h0)),
+            std::move(top.fn0)};
+    Bucket& b = buckets_[top.bucket];
+    if (b.head != kNone) {
+      // More ties pending at this time: promote the FIFO head into the
+      // node. It keeps the smallest remaining (time, seq) globally —
+      // later buckets at this time hold strictly larger sequences — so
+      // the node stays on top with no sift.
+      Chunk& hc = chunks_[b.head];
+      Ev& ev = hc.ev[b.ridx++];
+      top.seq0 = ev.seq;
+      top.h0 = ev.h;
+      top.fn0 = std::move(ev.fn);
+      if (b.ridx == hc.n) {
+        const std::uint32_t next = hc.next;
+        free_chunks_.push_back(b.head);
+        b.ridx = 0;
+        b.head = next;
+        if (next == kNone) b.tail = kNone;
+      }
+      return e;
+    }
+    // Bucket drained: retire it and delete the heap root.
+    CacheEnt& ce = cache_[cache_slot(top.tb)];
+    if (ce.tb == top.tb && ce.bucket == top.bucket) ce.tb = kEmptyTb;
+    free_buckets_.push_back(top.bucket);
+    Node last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(std::move(last));
+    return e;
+  }
+
+  /// Drop every pending event (callback state is destroyed; queued
+  /// coroutine handles are simply forgotten — teardown owns their frames).
+  void clear() noexcept {
+    heap_.clear();
+    buckets_.clear();
+    chunks_.clear();
+    free_buckets_.clear();
+    free_chunks_.clear();
+    invalidate_cache();
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kEmptyTb = 0xFFFFFFFFFFFFFFFFull;  // -NaN: unschedulable
+  static constexpr std::uint64_t kNegZeroTb = 0x8000000000000000ull;
+  static constexpr std::uint32_t kChunkCap = 12;
+  static constexpr std::uint32_t kCacheSize = 256;  // power of two
+
+  struct Ev {
+    std::uint64_t seq;
+    std::uintptr_t h;
+    SmallFn fn;
+  };
+  struct Chunk {
+    Ev ev[kChunkCap];
+    std::uint32_t next = kNone;
+    std::uint32_t n = 0;
+  };
+  struct Bucket {
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+    std::uint32_t ridx = 0;
+  };
+  struct Node {
+    std::uint64_t tb;    // time as ordered bit pattern
+    std::uint64_t seq0;  // sequence of the bucket's next-out event
+    std::uintptr_t h0;
+    SmallFn fn0;
+    std::uint32_t bucket;
+  };
+  struct CacheEnt {
+    std::uint64_t tb = kEmptyTb;
+    std::uint32_t bucket = 0;
+  };
+
+  static bool earlier(const Node& a, const Node& b) noexcept {
+    return a.tb < b.tb || (a.tb == b.tb && a.seq0 < b.seq0);
+  }
+
+  static std::size_t cache_slot(std::uint64_t tb) noexcept {
+    return static_cast<std::size_t>((tb * 0x9E3779B97F4A7C15ull) >> 56) & (kCacheSize - 1);
+  }
+
+  void invalidate_cache() noexcept {
+    for (CacheEnt& ce : cache_) ce = CacheEnt{};
+  }
+
+  void push_impl(SimTime t, std::uint64_t seq, std::uintptr_t h, SmallFn fn) {
+    assert(t == t && "EventQueue: NaN event time");
+    std::uint64_t tb = std::bit_cast<std::uint64_t>(t);
+    if (tb == kNegZeroTb) tb = 0;  // -0.0 sorts (and digests) as +0.0
+    ++count_;
+    CacheEnt& ce = cache_[cache_slot(tb)];
+    if (ce.tb == tb) {
+      append(buckets_[ce.bucket], seq, h, std::move(fn));
+      return;
+    }
+    // Miss: implicitly close whatever bucket held this slot and open a
+    // fresh one with the event inline in its heap node.
+    std::uint32_t bi;
+    if (!free_buckets_.empty()) {
+      bi = free_buckets_.back();
+      free_buckets_.pop_back();
+      buckets_[bi] = Bucket{};
+    } else {
+      bi = static_cast<std::uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    }
+    ce.tb = tb;
+    ce.bucket = bi;
+    sift_up(Node{tb, seq, h, std::move(fn), bi});
+  }
+
+  void append(Bucket& b, std::uint64_t seq, std::uintptr_t h, SmallFn fn) {
+    if (b.tail == kNone) {
+      const std::uint32_t c = alloc_chunk();
+      b.head = b.tail = c;
+      b.ridx = 0;
+    } else if (chunks_[b.tail].n == kChunkCap) {
+      const std::uint32_t c = alloc_chunk();
+      chunks_[b.tail].next = c;
+      b.tail = c;
+    }
+    Chunk& tc = chunks_[b.tail];
+    Ev& ev = tc.ev[tc.n++];
+    ev.seq = seq;
+    ev.h = h;
+    ev.fn = std::move(fn);
+  }
+
+  std::uint32_t alloc_chunk() {
+    if (!free_chunks_.empty()) {
+      const std::uint32_t c = free_chunks_.back();
+      free_chunks_.pop_back();
+      chunks_[c].next = kNone;
+      chunks_[c].n = 0;
+      return c;
+    }
+    chunks_.emplace_back();
+    return static_cast<std::uint32_t>(chunks_.size() - 1);
+  }
+
+  // Hole-based insertion: bubble the hole up, write the new node once.
+  void sift_up(Node n) {
+    std::size_t i = heap_.size();
+    heap_.emplace_back();  // grows storage; value overwritten below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(n, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(n);
+  }
+
+  // Re-seat `v` (the old last element) starting from the root hole.
+  void sift_down(Node v) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        best = earlier(heap_[c], heap_[best]) ? c : best;
+      }
+      if (!earlier(heap_[best], v)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(v);
+  }
+
+  std::vector<Node> heap_;        // one node per distinct pending time
+  std::vector<Bucket> buckets_;   // overflow FIFOs, indexed by Node::bucket
+  std::vector<Chunk> chunks_;
+  std::vector<std::uint32_t> free_buckets_;
+  std::vector<std::uint32_t> free_chunks_;
+  CacheEnt cache_[kCacheSize];
+  std::size_t count_ = 0;
+};
+
+}  // namespace ppfs::sim

@@ -1,0 +1,73 @@
+#include "sim/frame_arena.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace ppfs::sim {
+
+FrameArena& FrameArena::local() noexcept {
+  thread_local FrameArena arena;
+  return arena;
+}
+
+FrameArena::Bucket& FrameArena::bucket_for(std::size_t block_bytes) {
+  for (auto& b : buckets_) {
+    if (b.bytes == block_bytes) return b;
+  }
+  auto& b = buckets_.emplace_back();
+  b.bytes = block_bytes;
+  return b;
+}
+
+void* FrameArena::allocate(std::size_t bytes) {
+  const std::size_t block_bytes =
+      ((bytes + kHeaderSize + kGranularity - 1) / kGranularity) * kGranularity;
+  ++stats_.allocs;
+  ++stats_.live;
+  Bucket& bucket = bucket_for(block_bytes);
+  void* block;
+  if (!bucket.free.empty()) {
+    block = bucket.free.back();
+    bucket.free.pop_back();
+    ++stats_.pool_hits;
+    --stats_.cached_blocks;
+    stats_.cached_bytes -= block_bytes;
+  } else {
+    block = ::operator new(block_bytes);
+    std::memcpy(block, &block_bytes, sizeof(block_bytes));
+  }
+  return static_cast<char*>(block) + kHeaderSize;
+}
+
+void FrameArena::deallocate(void* p) noexcept {
+  if (!p) return;
+  void* block = static_cast<char*>(p) - kHeaderSize;
+  std::size_t block_bytes = 0;
+  std::memcpy(&block_bytes, block, sizeof(block_bytes));
+  assert(stats_.live > 0);
+  --stats_.live;
+  Bucket& bucket = bucket_for(block_bytes);
+  if (bucket.free.size() < kMaxCachedPerClass) {
+    bucket.free.push_back(block);
+    ++stats_.cached_blocks;
+    stats_.cached_bytes += block_bytes;
+  } else {
+    ++stats_.trims;
+    ::operator delete(block);
+  }
+}
+
+void FrameArena::trim() noexcept {
+  for (auto& bucket : buckets_) {
+    for (void* block : bucket.free) {
+      ++stats_.trims;
+      ::operator delete(block);
+    }
+    stats_.cached_blocks -= bucket.free.size();
+    stats_.cached_bytes -= bucket.bytes * bucket.free.size();
+    bucket.free.clear();
+  }
+}
+
+}  // namespace ppfs::sim

@@ -3,31 +3,30 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/frame_arena.hpp"
+
 namespace ppfs::sim {
 
 namespace {
 
 // Fire-and-forget wrapper coroutine used by spawn(). It starts eagerly,
 // immediately co_awaits the user task (driving it), and self-destroys on
-// completion because final_suspend never suspends. The promise registers
-// the frame with the Simulation so ~Simulation() / an aborted run can
+// completion because final_suspend never suspends. The promise embeds the
+// Simulation's intrusive RootNode so ~Simulation() / an aborted run can
 // destroy processes that never completed (destroying the root cascades:
 // the frame's Task parameter owns the child frame, and so on down).
 struct Detached {
-  struct promise_type {
+  struct promise_type : Simulation::RootNode, PooledFrame {
     Simulation* sim;
 
     // Promise constructor matching run_detached's parameters: binds the
     // owning Simulation before the coroutine body starts.
     promise_type(Simulation& s, std::size_t&, Task<void>&) noexcept : sim(&s) {}
-    ~promise_type() { sim->note_root_finished(frame()); }
-
-    void* frame() noexcept {
-      return std::coroutine_handle<promise_type>::from_promise(*this).address();
-    }
+    ~promise_type() { sim->note_root_finished(*this); }
 
     Detached get_return_object() {
-      sim->note_root_started(frame());
+      handle = std::coroutine_handle<promise_type>::from_promise(*this);
+      sim->note_root_started(*this);
       return {};
     }
     std::suspend_never initial_suspend() noexcept { return {}; }
@@ -59,6 +58,9 @@ Simulation::Simulation()
     : auditor_(std::make_unique<check::Auditor>(*this))
 #endif
 {
+  // Pre-size the queue past typical scenario high-water marks so short
+  // runs never touch the allocator from the event loop.
+  queue_.reserve(1024);
 }
 
 Simulation::~Simulation() {
@@ -71,23 +73,38 @@ Simulation::~Simulation() {
 #endif
 }
 
-void Simulation::note_root_started(void* frame) { spawned_roots_.insert(frame); }
+void Simulation::note_root_started(RootNode& node) noexcept {
+  node.prev = nullptr;
+  node.next = roots_;
+  node.linked = true;
+  if (roots_) roots_->prev = &node;
+  roots_ = &node;
+}
 
-void Simulation::note_root_finished(void* frame) noexcept { spawned_roots_.erase(frame); }
+void Simulation::note_root_finished(RootNode& node) noexcept {
+  if (!node.linked) return;
+  node.linked = false;
+  if (node.prev) {
+    node.prev->next = node.next;
+  } else {
+    roots_ = node.next;
+  }
+  if (node.next) node.next->prev = node.prev;
+  node.prev = node.next = nullptr;
+}
 
 std::size_t Simulation::destroy_pending_processes() {
   draining_ = true;
   std::size_t destroyed = 0;
-  while (!spawned_roots_.empty()) {
-    void* root = *spawned_roots_.begin();
+  while (roots_) {
     // Destroying the root frame cascades through the Task ownership chain,
-    // unwinding every frame of the process; ~promise_type deregisters it.
-    std::coroutine_handle<>::from_address(root).destroy();
+    // unwinding every frame of the process; ~promise_type unlinks it.
+    roots_->handle.destroy();
     ++destroyed;
   }
   // Whatever was queued either belonged to a just-destroyed process (the
   // handle now dangles) or is an orphaned callback of an aborted run.
-  queue_ = decltype(queue_){};
+  queue_.clear();
   draining_ = false;
   return destroyed;
 }
@@ -95,12 +112,12 @@ std::size_t Simulation::destroy_pending_processes() {
 void Simulation::schedule_at(SimTime t, std::coroutine_handle<> h) {
   assert(h);
   if (auto* a = auditor()) a->on_schedule(now_, t, h.address());
-  queue_.push(Item{t < now_ ? now_ : t, next_seq_++, h, nullptr});
+  queue_.push(t < now_ ? now_ : t, next_seq_++, h);
 }
 
-void Simulation::call_at(SimTime t, std::function<void()> fn) {
+void Simulation::call_at(SimTime t, SmallFn fn) {
   if (auto* a = auditor()) a->on_schedule(now_, t, nullptr);
-  queue_.push(Item{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
+  queue_.push(t < now_ ? now_ : t, next_seq_++, std::move(fn));
 }
 
 void Simulation::spawn(Task<void> task) {
@@ -110,8 +127,7 @@ void Simulation::spawn(Task<void> task) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Item item = queue_.top();
-  queue_.pop();
+  EventQueue::Entry item = queue_.pop();
   now_ = item.t;
   ++events_dispatched_;
   digest_.mix_double(item.t);
@@ -144,7 +160,7 @@ std::size_t Simulation::run(SimTime until) {
   // A spawned process may have failed eagerly, before any event exists.
   rethrow_pending();
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().t <= until) {
+  while (!queue_.empty() && queue_.top_time() <= until) {
     step();
     ++processed;
     rethrow_pending();

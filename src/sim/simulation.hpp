@@ -32,14 +32,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/check/audit.hpp"
 #include "sim/check/digest.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
@@ -59,8 +58,11 @@ class Simulation {
   void schedule_at(SimTime t, std::coroutine_handle<> h);
   /// Schedule a coroutine resumption dt seconds from now.
   void schedule_in(SimTime dt, std::coroutine_handle<> h) { schedule_at(now_ + dt, h); }
-  /// Schedule a plain callback at absolute time t.
-  void call_at(SimTime t, std::function<void()> fn);
+  /// Schedule a plain callback at absolute time t. Small trivially-copyable
+  /// closures (≤16 bytes of captured state) are stored inline in the queue;
+  /// larger or non-trivial ones ride in a pooled arena box. Move-only
+  /// callables are fine — nothing is copied on the way down.
+  void call_at(SimTime t, SmallFn fn);
 
   /// Awaitable: suspend the calling process for dt simulated seconds.
   /// A zero (or negative) delay still round-trips through the event queue,
@@ -126,31 +128,27 @@ class Simulation {
 
   void report_process_error(std::exception_ptr e);
 
-  // Internal: spawned-root bookkeeping, called by the spawn() machinery's
-  // promise. Not for simulation models.
-  void note_root_started(void* frame);
-  void note_root_finished(void* frame) noexcept;
+  // Internal: spawned-root bookkeeping. Each spawned process's wrapper
+  // promise embeds a RootNode; registration is an O(1) intrusive-list
+  // splice (no allocation, unlike the unordered_set this replaces), and
+  // teardown walks the list destroying whatever never completed. Not for
+  // simulation models.
+  struct RootNode {
+    RootNode* prev = nullptr;
+    RootNode* next = nullptr;
+    std::coroutine_handle<> handle{};
+    bool linked = false;
+  };
+  void note_root_started(RootNode& node) noexcept;
+  void note_root_finished(RootNode& node) noexcept;
 
  private:
-  struct Item {
-    SimTime t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;       // either h or fn, not both
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  EventQueue queue_;
   std::vector<std::exception_ptr> errors_;
   std::size_t live_processes_ = 0;
-  std::unordered_set<void*> spawned_roots_;
+  RootNode* roots_ = nullptr;  // head of the intrusive spawned-root list
   bool draining_ = false;
   check::Fnv1a64 digest_;
   std::uint64_t events_dispatched_ = 0;

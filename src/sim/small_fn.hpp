@@ -1,0 +1,154 @@
+// SmallFn: the event queue's trivially-relocatable callback type.
+//
+// A type-erased, move-only callable sized to three machine words. Two
+// storage strategies, chosen at compile time per callable type:
+//
+//  - inline: trivially-copyable, trivially-destructible callables of at
+//    most two words (a couple of references/pointers plus an index — the
+//    closures the kernel actually schedules) live directly in the object.
+//  - boxed: anything bigger or with a real destructor (a shared_ptr
+//    capture, a four-reference test closure) lives in a block from the
+//    thread-local FrameArena, and the object holds the pointer.
+//
+// Either way the object itself relocates with a plain three-word copy: a
+// move never runs callable code, so the event queue can sift, batch and
+// memcpy SmallFns freely — no trampoline call per queue move, which is
+// where the previous std::function-based queue item spent its time. The
+// low bit of the ops word marks "nothing to destroy", so destroying a
+// drained inline callback is a predicted-not-taken branch, not an
+// indirect call.
+//
+// Boxed callables allocate from the *calling thread's* arena and must be
+// destroyed on the same thread — the same single-thread discipline the
+// simulation kernel already imposes (a Simulation never migrates between
+// SweepRunner workers).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/frame_arena.hpp"
+
+// The ops trampolines must sit at even addresses so their low bit can
+// carry the trivially-destructible flag. Optimized builds align functions
+// anyway, but gcc -O0 packs COMDAT template functions at odd addresses,
+// so force the minimum alignment explicitly.
+#if defined(__GNUC__) || defined(__clang__)
+#define PPFS_EVEN_FN __attribute__((aligned(2)))
+#else
+#define PPFS_EVEN_FN
+#endif
+
+namespace ppfs::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineSize = 16;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for lambdas
+    using Fn = std::decay_t<F>;
+    constexpr bool fits_inline = std::is_trivially_copyable_v<Fn> &&
+                                 std::is_trivially_destructible_v<Fn> &&
+                                 sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::uint64_t);
+    if constexpr (fits_inline) {
+      ::new (static_cast<void*>(w_)) Fn(std::forward<F>(f));
+      const auto raw = reinterpret_cast<std::uintptr_t>(&ops_inline<Fn>);
+      assert((raw & kTrivialBit) == 0 && "SmallFn: ops trampoline at odd address");
+      ops_ = raw | kTrivialBit;
+    } else {
+      static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                    "SmallFn: over-aligned callables are not supported "
+                    "(the arena returns max_align_t-aligned blocks)");
+      void* box = FrameArena::local().allocate(sizeof(Fn));
+      try {
+        ::new (box) Fn(std::forward<F>(f));
+      } catch (...) {
+        FrameArena::local().deallocate(box);
+        throw;
+      }
+      w_[0] = reinterpret_cast<std::uint64_t>(box);
+      const auto raw = reinterpret_cast<std::uintptr_t>(&ops_boxed<Fn>);
+      assert((raw & kTrivialBit) == 0 && "SmallFn: ops trampoline at odd address");
+      ops_ = raw;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept
+      : ops_(other.ops_), w_{other.w_[0], other.w_[1]} {
+    other.ops_ = 0;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      w_[0] = other.w_[0];
+      w_[1] = other.w_[1];
+      other.ops_ = 0;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != 0; }
+
+  void operator()() {
+    reinterpret_cast<OpsFn>(ops_ & ~kTrivialBit)(Op::kInvoke, this);
+  }
+
+  void reset() noexcept {
+    // kTrivialBit set means the payload is inline and trivially
+    // destructible — dropping it needs no call at all.
+    if (ops_ != 0 && (ops_ & kTrivialBit) == 0) {
+      reinterpret_cast<OpsFn>(ops_)(Op::kDestroy, this);
+    }
+    ops_ = 0;
+  }
+
+ private:
+  enum class Op : unsigned char { kInvoke, kDestroy };
+  using OpsFn = void (*)(Op, SmallFn*);
+
+  static constexpr std::uintptr_t kTrivialBit = 1;
+
+  template <typename Fn>
+  PPFS_EVEN_FN static void ops_inline(Op op, SmallFn* self) {
+    auto* fn = std::launder(reinterpret_cast<Fn*>(self->w_));
+    if (op == Op::kInvoke) (*fn)();
+    // kDestroy unreachable: inline callables are trivially destructible.
+  }
+
+  template <typename Fn>
+  PPFS_EVEN_FN static void ops_boxed(Op op, SmallFn* self) {
+    auto* fn = reinterpret_cast<Fn*>(self->w_[0]);
+    switch (op) {
+      case Op::kInvoke:
+        (*fn)();
+        break;
+      case Op::kDestroy:
+        fn->~Fn();
+        FrameArena::local().deallocate(fn);
+        break;
+    }
+  }
+
+  std::uintptr_t ops_ = 0;
+  std::uint64_t w_[2];
+};
+
+}  // namespace ppfs::sim
+
+#undef PPFS_EVEN_FN

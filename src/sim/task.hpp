@@ -20,6 +20,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_arena.hpp"
+
 #if defined(PPFS_SIMCHECK)
 #include "sim/check/audit.hpp"
 #endif
@@ -47,7 +49,10 @@ class Task;
 
 namespace detail {
 
-struct PromiseBase {
+// Frames come from the thread-local FrameArena (PooledFrame): a sweep
+// spawns millions of short-lived child coroutines, and recycling their
+// frames keeps the hot path out of the global allocator.
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr error;
 

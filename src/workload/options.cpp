@@ -78,6 +78,10 @@ the paper's metrics.
   --compare             run with AND without prefetch, print both
   --selfcheck           run each configuration twice; fail on determinism-
                         digest divergence (SimCheck)
+  --sweep               run the paper-table grid (5 request sizes, prefetch
+                        off/on) as one sweep; honors --mode/--delay/...
+  --jobs <n>            worker threads for --sweep (default 1; per-scenario
+                        digests are identical for any worker count)
   --ncompute <n>        compute nodes                       (default 8)
   --nio <n>             I/O nodes                           (default 8)
   --sunit <size>        stripe unit                         (default 64K)
@@ -139,6 +143,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.compare = true;
     } else if (a == "--selfcheck") {
       opt.selfcheck = true;
+    } else if (a == "--sweep") {
+      opt.sweep = true;
+    } else if (a == "--jobs") {
+      opt.jobs = parse_int(a, need_value(i, a));
+      if (opt.jobs < 1) throw std::invalid_argument("--jobs must be >= 1");
+      ++i;
     } else if (a == "--ncompute") {
       opt.machine.ncompute = parse_int(a, need_value(i, a));
       ++i;

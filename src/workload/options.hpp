@@ -21,6 +21,12 @@ struct CliOptions {
   /// Runs each configuration twice and fails on determinism-digest
   /// divergence (SimCheck).
   bool selfcheck = false;
+  /// Runs the paper-table scenario grid (request sizes x prefetch on/off)
+  /// as one sweep instead of a single workload.
+  bool sweep = false;
+  /// Worker threads for --sweep (each scenario is still a single-threaded,
+  /// deterministic simulation). 1 = serial.
+  int jobs = 1;
 };
 
 /// Parse "64K", "8M", "1G", or plain bytes. Throws std::invalid_argument

@@ -1,0 +1,21 @@
+// Deliberately-bad fixture for tools/ppfs_lint.py's hot-path-std-function
+// rule. NEVER compiled — it sits under a sim/ directory so the lint treats
+// it as kernel hot-path code, where std::function is banned: its capture-
+// heavy callbacks heap-allocate and every queue move runs a trampoline.
+// Kernel callbacks use sim::SmallFn instead (see src/sim/small_fn.hpp).
+#pragma once
+
+#include <functional>
+
+namespace ppfs::bad {
+
+struct BadQueueItem {
+  double time = 0;
+  // [hot-path-std-function] member callback in a hot-path type.
+  std::function<void()> callback;
+};
+
+// [hot-path-std-function] callback parameter on a scheduling API.
+void schedule_at(double t, std::function<void()> fn);
+
+}  // namespace ppfs::bad

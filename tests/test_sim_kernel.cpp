@@ -2,6 +2,7 @@
 // Condition, Barrier, Resource, when_all, Rng determinism.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,6 +50,34 @@ TEST(Simulation, TiesBreakInInsertionOrder) {
   }
   sim.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, CallAtAcceptsMoveOnlyCallable) {
+  // call_at must move the callable all the way into the queue — a
+  // unique_ptr capture makes any accidental copy a compile error, and its
+  // non-trivial destructor exercises SmallFn's boxed-storage path.
+  Simulation sim;
+  int fired = 0;
+  auto token = std::make_unique<int>(7);
+  sim.call_at(1.0, [t = std::move(token), &fired] { fired += *t; });
+  sim.run();
+  EXPECT_EQ(fired, 7);
+}
+
+TEST(Simulation, LargeCaptureCallbackRuns) {
+  // Four references exceed SmallFn's inline budget; the closure rides in
+  // the arena box and must still fire exactly once.
+  Simulation sim;
+  int a = 0, b = 0, c = 0;
+  sim.call_at(1.0, [&sim, &a, &b, &c] {
+    a = 1;
+    b = 2;
+    c = static_cast<int>(sim.now());
+  });
+  sim.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c, 1);
 }
 
 TEST(Simulation, RunUntilStopsBeforeLaterEvents) {

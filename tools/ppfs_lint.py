@@ -28,12 +28,22 @@ mechanically (it runs as a CTest, see tools/CMakeLists.txt):
                        references of its own is the classic dangling-frame
                        setup.
 
+  hot-path-std-function
+                       `std::function<...>` in a source under a sim/
+                       directory — the kernel hot path. A std::function
+                       costs a heap allocation per capture-heavy callback
+                       and an indirect trampoline per queue move; kernel
+                       callbacks must use sim::SmallFn (inline storage,
+                       trivially relocatable, arena-boxed overflow)
+                       instead. Higher layers (pfs/, ufs/) may still use
+                       std::function where calls are rare.
+
 Usage:
     ppfs_lint.py [--expect-violations N] <dir-or-file>...
 
 Exit status 0 when clean; 1 when violations are found. With
 --expect-violations N the meaning inverts: exit 0 only when at least N
-violations are found AND all three rule classes fire (used to prove the
+violations are found AND all four rule classes fire (used to prove the
 lint itself detects the deliberately-bad fixture in tests/lint_fixtures).
 """
 
@@ -151,6 +161,24 @@ def check_spawn_captures(path: Path, clean: str, findings: list) -> None:
                  f"parameters: spawn([](T arg) -> Task<void> {{...}}(arg))"))
 
 
+HOT_PATH_STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
+
+
+def check_hot_path_std_function(path: Path, clean: str, findings: list) -> None:
+    """std::function has no place in kernel (sim/) sources: every queue
+    move runs its trampoline and capture-heavy callbacks allocate. The
+    kernel's callback type is sim::SmallFn."""
+    if "sim" not in path.parts:
+        return
+    for m in HOT_PATH_STD_FUNCTION_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "hot-path-std-function",
+             "std::function in a kernel hot-path source; scheduled callbacks "
+             "must use sim::SmallFn (inline small-buffer storage, trivially "
+             "relocatable, FrameArena-boxed overflow) so queue moves stay "
+             "allocation- and trampoline-free"))
+
+
 def check_co_await_temporaries(path: Path, clean: str, findings: list) -> None:
     for m in CO_AWAIT_TEMP_RE.finditer(clean):
         findings.append(
@@ -197,14 +225,15 @@ def main(argv: list[str]) -> int:
         check_discarded_tasks(path, clean, task_fns, findings)
         check_spawn_captures(path, clean, findings)
         check_co_await_temporaries(path, clean, findings)
+        check_hot_path_std_function(path, clean, findings)
 
     for path, line, rule, msg in findings:
         print(f"{path}:{line}: [{rule}] {msg}")
 
     if args.expect_violations is not None:
         rules_hit = {rule for _, _, rule, _ in findings}
-        ok = len(findings) >= args.expect_violations and len(rules_hit) == 3
-        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/3 rule classes "
+        ok = len(findings) >= args.expect_violations and len(rules_hit) == 4
+        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/4 rule classes "
               f"fired — {'OK (expected)' if ok else 'FAIL (expected violations missing)'}")
         return 0 if ok else 1
 

@@ -1,0 +1,234 @@
+// ppfs_perf: the wall-clock perf harness behind the BENCH_*.json
+// artifacts and the CI perf-smoke gate.
+//
+// Two sections:
+//
+//  * kernel — times the simulator substrate with the exact loop shapes of
+//    bench_kernel_micro's BM_EventQueueThroughput and BM_CoroutineDelayHops
+//    (so the numbers are comparable to the recorded google-benchmark
+//    trajectory), best-of-N repetitions, written to BENCH_kernel.json.
+//    --min-events-per-sec gates CI on a conservative floor.
+//
+//  * sweep — runs the paper-table scenario grid serially and with --jobs
+//    workers, checks every per-scenario digest is bit-identical between
+//    the two (the SweepRunner determinism contract), and records both
+//    wall-clock times to BENCH_sweep.json. A digest mismatch fails the
+//    run; the speedup itself is recorded, not gated — a one-core CI box
+//    timeslices the workers and cannot show it.
+//
+//   $ ppfs_perf --jobs 4 --min-events-per-sec 250000 --out-dir .
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "workload/experiment.hpp"
+
+using namespace ppfs;
+using namespace ppfs::bench;
+using sim::Simulation;
+using sim::Task;
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct KernelRow {
+  std::string name;
+  std::uint64_t events = 0;   // per repetition
+  double best_seconds = 0;    // best-of-reps
+  double events_per_sec = 0;
+};
+
+/// BM_EventQueueThroughput's loop body: n callbacks over 97 distinct
+/// times, pushed then drained on a fresh Simulation.
+KernelRow measure_event_throughput(int n, int reps) {
+  KernelRow row;
+  row.name = "event_throughput/" + std::to_string(n);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.call_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sim.run();
+    const double dt = now_seconds() - t0;
+    if (fired != n) {
+      std::fprintf(stderr, "ppfs_perf: event_throughput dropped callbacks\n");
+      std::exit(1);
+    }
+    row.events = sim.events_dispatched();
+    best = std::min(best, dt);
+  }
+  row.best_seconds = best;
+  row.events_per_sec = static_cast<double>(row.events) / best;
+  return row;
+}
+
+Task<void> hop(Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(0.001);
+}
+
+/// BM_CoroutineDelayHops's loop body: 100 processes x `hops` delay hops.
+KernelRow measure_delay_hops(int hops, int reps) {
+  KernelRow row;
+  row.name = "delay_hops/" + std::to_string(hops);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    Simulation sim;
+    for (int p = 0; p < 100; ++p) sim.spawn(hop(sim, hops));
+    sim.run();
+    const double dt = now_seconds() - t0;
+    row.events = sim.events_dispatched();
+    best = std::min(best, dt);
+  }
+  row.best_seconds = best;
+  row.events_per_sec = static_cast<double>(row.events) / best;
+  return row;
+}
+
+struct Args {
+  int jobs = exp::SweepRunner::default_jobs();
+  double min_events_per_sec = 0;
+  bool quick = false;
+  std::string out_dir = ".";
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--jobs" && i + 1 < argc) {
+      a.jobs = std::max(1, std::atoi(argv[++i]));
+    } else if (s == "--min-events-per-sec" && i + 1 < argc) {
+      a.min_events_per_sec = std::atof(argv[++i]);
+    } else if (s == "--quick") {
+      a.quick = true;
+    } else if (s == "--out-dir" && i + 1 < argc) {
+      a.out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ppfs_perf [--jobs <n>] [--min-events-per-sec <x>]"
+                   " [--quick] [--out-dir <dir>]\n");
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+std::string build_flavor() {
+  std::string s;
+#if defined(NDEBUG)
+  s += "ndebug";
+#else
+  s += "debug-asserts";
+#endif
+#if defined(PPFS_SIMCHECK)
+  s += "+simcheck";
+#endif
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  bool ok = true;
+
+  // ---- kernel section -----------------------------------------------------
+  const int reps = args.quick ? 3 : 7;
+  std::vector<KernelRow> rows;
+  rows.push_back(measure_event_throughput(args.quick ? 20000 : 100000, reps));
+  rows.push_back(measure_delay_hops(args.quick ? 20 : 100, reps));
+
+  JsonArray kernel_rows;
+  for (const auto& r : rows) {
+    std::printf("kernel  %-24s %9.0f events/s  (%llu events, best %.4fs of %d)\n",
+                r.name.c_str(), r.events_per_sec, (unsigned long long)r.events,
+                r.best_seconds, reps);
+    JsonObject o;
+    o.field("name", r.name)
+        .field("events", r.events)
+        .field("best_seconds", r.best_seconds)
+        .field("events_per_sec", r.events_per_sec);
+    kernel_rows.add(o);
+    if (args.min_events_per_sec > 0 && r.events_per_sec < args.min_events_per_sec) {
+      std::fprintf(stderr, "ppfs_perf: %s below floor (%.0f < %.0f events/s)\n",
+                   r.name.c_str(), r.events_per_sec, args.min_events_per_sec);
+      ok = false;
+    }
+  }
+
+  JsonObject kernel_doc;
+  kernel_doc.field("bench", "kernel")
+      .field("build", build_flavor())
+      .field("hardware_concurrency", hw)
+      .field("repetitions", reps)
+      .field("quick", args.quick)
+      .field("min_events_per_sec", args.min_events_per_sec)
+      .field("gate_pass", ok)
+      .raw("rows", kernel_rows.str());
+  write_json_file(args.out_dir + "/BENCH_kernel.json", kernel_doc.str());
+
+  // ---- sweep section ------------------------------------------------------
+  const workload::MachineSpec machine;
+  const workload::WorkloadSpec base;
+  const auto jobs = exp::paper_table_jobs(machine, base, args.quick ? 2 : 8);
+
+  const auto serial = exp::run_sweep(jobs, 1);
+  const auto parallel = exp::run_sweep(jobs, args.jobs);
+
+  bool digests_identical = serial.all_ok() && parallel.all_ok() &&
+                           serial.outcomes.size() == parallel.outcomes.size();
+  JsonArray sweep_rows;
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const auto& s = serial.outcomes[i];
+    if (i < parallel.outcomes.size() &&
+        (s.result.digest != parallel.outcomes[i].result.digest ||
+         s.result.events_dispatched != parallel.outcomes[i].result.events_dispatched)) {
+      std::fprintf(stderr, "ppfs_perf: digest diverged for '%s': %016llx vs %016llx\n",
+                   s.label.c_str(), (unsigned long long)s.result.digest,
+                   (unsigned long long)parallel.outcomes[i].result.digest);
+      digests_identical = false;
+    }
+    sweep_rows.add(outcome_json(s));
+  }
+  if (!digests_identical) ok = false;
+
+  const double speedup = parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0;
+  std::printf("sweep   %zu scenarios: serial %.3fs, %d-worker %.3fs (%.2fx), digests %s\n",
+              serial.outcomes.size(), serial.seconds, parallel.jobs, parallel.seconds,
+              speedup, digests_identical ? "identical" : "DIVERGED");
+
+  JsonObject sweep_doc;
+  sweep_doc.field("bench", "paper_table_sweep")
+      .field("build", build_flavor())
+      .field("hardware_concurrency", hw)
+      .field("scenarios", static_cast<std::uint64_t>(serial.outcomes.size()))
+      .field("quick", args.quick)
+      .field("serial_wall_seconds", serial.seconds)
+      .field("parallel_jobs", parallel.jobs)
+      .field("parallel_wall_seconds", parallel.seconds)
+      .field("speedup", speedup)
+      .field("digests_identical", digests_identical)
+      .raw("rows", sweep_rows.str());
+  write_json_file(args.out_dir + "/BENCH_sweep.json", sweep_doc.str());
+
+  std::printf("ppfs_perf: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "exp/sweep.hpp"
 #include "workload/options.hpp"
 #include "workload/report.hpp"
 
@@ -96,6 +97,37 @@ int run_selfcheck(const Experiment& exp, const CliOptions& opt) {
   return ok ? 0 : 1;
 }
 
+/// --sweep: run the paper-table grid through the parallel SweepRunner.
+/// The printed digests are the determinism contract — identical for any
+/// --jobs value (each scenario is one single-threaded simulation).
+int run_sweep_grid(const CliOptions& opt) {
+  const auto jobs = exp::paper_table_jobs(opt.machine, opt.workload);
+  const auto report = exp::run_sweep(jobs, opt.jobs);
+
+  TextTable table({"Scenario", "Read B/W (MB/s)", "Wall B/W (MB/s)", "Events", "Digest",
+                   "Run (s)"});
+  char digest[32];
+  for (const auto& o : report.outcomes) {
+    if (!o.ok()) {
+      table.add_row({o.label, "error: " + o.error, "", "", "", ""});
+      continue;
+    }
+    std::snprintf(digest, sizeof digest, "%016llx", (unsigned long long)o.result.digest);
+    table.add_row({o.label, fmt_double(o.result.observed_read_bw_mbs, 2),
+                   fmt_double(o.result.wall_bw_mbs, 2),
+                   std::to_string(o.result.events_dispatched), digest,
+                   fmt_double(o.seconds, 3)});
+  }
+  std::cout << table.str();
+  std::printf("\nsweep: %zu scenarios, %d worker%s, %.3fs wall\n", report.outcomes.size(),
+              report.jobs, report.jobs == 1 ? "" : "s", report.seconds);
+  if (!report.all_ok()) {
+    std::fprintf(stderr, "sweep: one or more scenarios failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +161,9 @@ int main(int argc, char** argv) {
       std::printf("faults:   %s\n\n", opt.workload.faults.summary().c_str());
     }
 
+    if (opt.sweep) {
+      return run_sweep_grid(opt);
+    }
     if (opt.selfcheck) {
       return run_selfcheck(exp, opt);
     }
