@@ -35,4 +35,20 @@ std::uint64_t ElevatorQueue::pop_next(std::uint64_t head_cylinder) {
   return id;
 }
 
+std::vector<std::size_t> sweep_order(std::span<const std::uint64_t> keys,
+                                     std::uint64_t head) {
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  // Split at the head: [up-pass ascending] + [return stroke descending].
+  std::size_t split = 0;
+  while (split < order.size() && keys[order[split]] < head) ++split;
+  std::vector<std::size_t> out;
+  out.reserve(order.size());
+  for (std::size_t i = split; i < order.size(); ++i) out.push_back(order[i]);
+  for (std::size_t i = split; i-- > 0;) out.push_back(order[i]);
+  return out;
+}
+
 }  // namespace ppfs::hw

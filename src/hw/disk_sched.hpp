@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 namespace ppfs::hw {
@@ -44,5 +45,14 @@ class ElevatorQueue {
   std::vector<Item> items_;
   bool sweeping_up_ = true;
 };
+
+/// Order a whole batch for one LOOK sweep: indices of `keys` (physical
+/// positions — cylinders or block numbers) arranged as an ascending pass
+/// starting at the first key >= `head`, followed by the remaining keys in
+/// descending order (the return stroke). Equal keys keep their relative
+/// input order, so the result is deterministic. PfsServer uses this to
+/// hand the disk one sorted sweep instead of N arrival-order seeks.
+std::vector<std::size_t> sweep_order(std::span<const std::uint64_t> keys,
+                                     std::uint64_t head);
 
 }  // namespace ppfs::hw

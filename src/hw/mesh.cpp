@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/inline_vec.hpp"
+
 namespace ppfs::hw {
 
 MeshNetwork::MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer)
@@ -16,6 +18,7 @@ MeshNetwork::MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer
   links_.reserve(n_links);
   for (int i = 0; i < n_links; ++i) links_.push_back(std::make_unique<sim::Resource>(s, 1));
   link_busy_.assign(n_links, 0.0);
+  build_path_table();
 }
 
 void MeshNetwork::check_node(NodeId n) const {
@@ -24,22 +27,38 @@ void MeshNetwork::check_node(NodeId n) const {
   }
 }
 
+void MeshNetwork::build_path_table() {
+  const int n = cfg_.node_count();
+  if (n > kPathTableMaxNodes) return;  // fall back to per-send walks
+  const std::size_t pairs = static_cast<std::size_t>(n) * n;
+  pair_off_.assign(pairs + 1, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      pair_off_[static_cast<std::size_t>(s) * n + d + 1] =
+          static_cast<std::uint32_t>(hop_count(s, d));
+    }
+  }
+  for (std::size_t i = 1; i < pair_off_.size(); ++i) pair_off_[i] += pair_off_[i - 1];
+  path_pool_.resize(pair_off_.back());
+  sorted_pool_.resize(pair_off_.back());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      std::size_t at = pair_off_[static_cast<std::size_t>(s) * n + d];
+      const std::size_t begin = at;
+      walk_route(s, d, [&](int id) { path_pool_[at++] = id; });
+      std::copy(path_pool_.begin() + begin, path_pool_.begin() + at,
+                sorted_pool_.begin() + begin);
+      std::sort(sorted_pool_.begin() + begin, sorted_pool_.begin() + at);
+    }
+  }
+}
+
 std::vector<int> MeshNetwork::route(NodeId src, NodeId dst) const {
   check_node(src);
   check_node(dst);
   std::vector<int> path;
-  int x = src % cfg_.width, y = src / cfg_.width;
-  const int dx = dst % cfg_.width, dy = dst / cfg_.width;
-  while (x != dx) {  // X dimension first
-    const int dir = dx > x ? 0 : 1;
-    path.push_back(link_id(y * cfg_.width + x, dir));
-    x += dx > x ? 1 : -1;
-  }
-  while (y != dy) {
-    const int dir = dy > y ? 2 : 3;
-    path.push_back(link_id(y * cfg_.width + x, dir));
-    y += dy > y ? 1 : -1;
-  }
+  path.reserve(static_cast<std::size_t>(hop_count(src, dst)));
+  walk_route(src, dst, [&](int id) { path.push_back(id); });
   return path;
 }
 
@@ -59,7 +78,7 @@ void MeshNetwork::inject_node_slowdown(NodeId node, double factor, SimTime from,
 }
 
 double MeshNetwork::degrade_factor_now(NodeId src, NodeId dst,
-                                       const std::vector<int>& path) const {
+                                       std::span<const int> path) const {
   if (degraded_windows_.empty()) return 1.0;
   double f = 1.0;
   const SimTime now = sim_.now();
@@ -72,6 +91,19 @@ double MeshNetwork::degrade_factor_now(NodeId src, NodeId dst,
     if (touches) f *= w.factor;
   }
   return f;
+}
+
+std::vector<std::pair<int, SimTime>> MeshNetwork::top_busy_links(std::size_t k) const {
+  std::vector<std::pair<int, SimTime>> busy;
+  for (std::size_t id = 0; id < link_busy_.size(); ++id) {
+    if (link_busy_[id] > 0.0) busy.emplace_back(static_cast<int>(id), link_busy_[id]);
+  }
+  std::sort(busy.begin(), busy.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (busy.size() > k) busy.resize(k);
+  return busy;
 }
 
 sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
@@ -87,36 +119,112 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
     co_return;
   }
 
-  auto path = route(src, dst);
-  double transfer =
-      static_cast<double>(path.size()) * cfg_.hop_latency +
-      static_cast<double>(bytes) / cfg_.link_bandwidth;
-
-  // Circuit setup: grab the path's links in canonical order (deadlock-free)
-  // and hold them for the duration of the transfer.
-  std::vector<int> ordered = path;
-  std::sort(ordered.begin(), ordered.end());
-  std::vector<sim::ResourceGuard> held;
-  held.reserve(ordered.size());
-  for (int id : ordered) held.push_back(co_await links_[id]->acquire());
-
-  // Degradation is evaluated at wire time (after circuit setup), so a
-  // window that opens while a message waits for links still applies.
-  const double degrade = degrade_factor_now(src, dst, path);
-  if (degrade != 1.0) {
-    transfer *= degrade;
-    ++degraded_messages_;
+  // Route lookup: spans into the precomputed pools for table-sized meshes,
+  // inline scratch otherwise — no heap traffic either way for paper-scale
+  // grids.
+  sim::InlineVec<int, kInlinePathSlots> local_path;
+  sim::InlineVec<int, kInlinePathSlots> local_sorted;
+  std::span<const int> path, ordered;
+  if (!pair_off_.empty()) {
+    path = table_span(path_pool_, src, dst);
+    ordered = table_span(sorted_pool_, src, dst);
+  } else {
+    walk_route(src, dst, [&](int id) { local_path.push_back(id); });
+    for (int id : local_path) local_sorted.push_back(id);
+    std::sort(local_sorted.begin(), local_sorted.end());
+    path = {local_path.data(), local_path.size()};
+    ordered = {local_sorted.data(), local_sorted.size()};
   }
+
+  if (cfg_.mtu == 0 || bytes <= cfg_.mtu) {
+    // Legacy circuit: hold the whole route for the whole message.
+    double transfer =
+        static_cast<double>(path.size()) * cfg_.hop_latency +
+        static_cast<double>(bytes) / cfg_.link_bandwidth;
+
+    // Circuit setup: grab the path's links in canonical order
+    // (deadlock-free) and hold them for the duration of the transfer.
+    sim::InlineVec<sim::ResourceGuard, kInlinePathSlots> held;
+    for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+
+    // Degradation is evaluated at wire time (after circuit setup), so a
+    // window that opens while a message waits for links still applies.
+    const double degrade = degrade_factor_now(src, dst, path);
+    if (degrade != 1.0) {
+      transfer *= degrade;
+      ++degraded_messages_;
+    }
+
+    if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
+      std::ostringstream msg;
+      msg << "msg " << src << "->" << dst << " bytes=" << bytes << " hops=" << path.size()
+          << " t=" << transfer;
+      tracer_->log(sim::TraceCat::kNet, sim_.now(), "mesh", msg.str());
+    }
+
+    co_await sim_.delay(transfer);
+    for (int id : ordered) link_busy_[id] += transfer;
+
+    ++messages_;
+    bytes_ += bytes;
+    co_return;
+  }
+
+  // Pipelined mode: the message moves as ceil(bytes / mtu) segments. Each
+  // segment still takes the full route in canonical order (deadlock-free),
+  // but the route is yielded between segments when — and only when —
+  // another message is queued on one of its links, so uncontended traffic
+  // pays a single acquisition (O(path + segments) work) while contended
+  // routes interleave at MTU granularity.
+  const std::uint64_t nseg = (bytes + cfg_.mtu - 1) / cfg_.mtu;
+  ++segmented_messages_;
 
   if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
     std::ostringstream msg;
     msg << "msg " << src << "->" << dst << " bytes=" << bytes << " hops=" << path.size()
-        << " t=" << transfer;
+        << " segments=" << nseg << " mtu=" << cfg_.mtu;
     tracer_->log(sim::TraceCat::kNet, sim_.now(), "mesh", msg.str());
   }
 
-  co_await sim_.delay(transfer);
-  for (int id : ordered) link_busy_[id] += transfer;
+  sim::InlineVec<sim::ResourceGuard, kInlinePathSlots> held;
+  bool degraded_counted = false;
+  for (std::uint64_t s = 0; s < nseg; ++s) {
+    const ByteCount seg = std::min<ByteCount>(cfg_.mtu, bytes - s * cfg_.mtu);
+    if (held.empty()) {
+      for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+    }
+
+    // The head segment pays the per-hop router latency; later segments
+    // stream pipeline-style behind it and pay pure wire time.
+    double transfer = static_cast<double>(seg) / cfg_.link_bandwidth;
+    if (s == 0) transfer += static_cast<double>(path.size()) * cfg_.hop_latency;
+
+    // Per-segment degradation: a window opening mid-message slows exactly
+    // the segments wired inside it.
+    const double degrade = degrade_factor_now(src, dst, path);
+    if (degrade != 1.0) {
+      transfer *= degrade;
+      if (!degraded_counted) {
+        ++degraded_messages_;
+        degraded_counted = true;
+      }
+    }
+
+    co_await sim_.delay(transfer);
+    for (int id : ordered) link_busy_[id] += transfer;
+    ++segments_sent_;
+
+    if (s + 1 < nseg) {
+      bool contended = false;
+      for (int id : ordered) {
+        if (links_[id]->queue_length() > 0) {
+          contended = true;
+          break;
+        }
+      }
+      if (contended) held.clear();  // release in insertion order, re-acquire
+    }
+  }
 
   ++messages_;
   bytes_ += bytes;

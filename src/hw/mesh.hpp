@@ -1,18 +1,34 @@
 // The Paragon 2-D mesh interconnect.
 //
 // Nodes sit on a width x height grid; messages follow dimension-ordered
-// (X then Y) wormhole routing. We model a wormhole transfer as a circuit:
-// the message holds every directed link on its path for the duration of the
-// transfer, which captures the head-of-line blocking that makes concurrent
-// full-file reads contend. Links along the path are acquired in a canonical
-// (sorted) order so concurrent circuit setups cannot deadlock.
+// (X then Y) wormhole routing. The legacy model (mtu == 0) treats a wormhole
+// transfer as a circuit: the message holds every directed link on its path
+// for the duration of the transfer, which captures the head-of-line blocking
+// that makes concurrent full-file reads contend. Links along the path are
+// acquired in a canonical (sorted) order so concurrent circuit setups cannot
+// deadlock.
+//
+// With mtu > 0 the network pipelines: messages larger than the MTU are cut
+// into MTU-sized segments that take and yield the route segment-by-segment,
+// so a long transfer shares its links with competing traffic at MTU
+// granularity instead of circuit-blocking the whole route. Segment wire
+// times pipeline the per-hop router latency away: the head segment pays
+// hops x hop_latency + seg/bandwidth, every later segment only
+// seg/bandwidth (its flits stream behind the head). An uncontended message
+// keeps the circuit between segments (one acquisition, one event per
+// segment: O(path + segments) work); only when another message queues on a
+// path link does the sender release and re-acquire, which is exactly the
+// sharing the model exists to expose.
 //
 // Per-message time = software injection latency (charged before links are
-// held) + hops x per-hop router latency + bytes / link bandwidth.
+// held) + hops x per-hop router latency + bytes / link bandwidth; identical
+// totals in both modes when uncontended.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/resource.hpp"
@@ -36,6 +52,12 @@ struct MeshConfig {
   double hop_latency = 40.0e-9;
   /// OS message-passing software overhead per message (send+receive path).
   double software_latency = 45.0e-6;
+  /// Maximum transfer unit for pipelined transfers, in bytes. 0 (the
+  /// default) keeps the legacy circuit model: one wire event holds the
+  /// whole route for the full message duration, and existing event digests
+  /// are bit-identical. When > 0, messages above the MTU move as MTU-sized
+  /// segments that yield the route to queued competitors between segments.
+  ByteCount mtu = 0;
 
   int node_count() const { return width * height; }
 };
@@ -69,13 +91,51 @@ class MeshNetwork {
 
   std::uint64_t messages() const noexcept { return messages_; }
   ByteCount bytes_moved() const noexcept { return bytes_; }
+  /// Messages that moved as >1 segment, and total segments wired (counts
+  /// single-segment messages too once the pipelined path is taken).
+  std::uint64_t segmented_messages() const noexcept { return segmented_messages_; }
+  std::uint64_t segments_sent() const noexcept { return segments_sent_; }
   /// Total time the given directed link spent occupied.
   SimTime link_busy_time(int link_id) const { return link_busy_.at(link_id); }
+  /// The k busiest directed links as (link id, busy time), busiest first
+  /// (ties broken by ascending id). Links with zero busy time are omitted.
+  std::vector<std::pair<int, SimTime>> top_busy_links(std::size_t k) const;
 
  private:
   // Directed link leaving `node` toward direction d (0=+x,1=-x,2=+y,3=-y).
   int link_id(NodeId node, int dir) const { return node * 4 + dir; }
   void check_node(NodeId n) const;
+
+  // Dimension-ordered walk invoking fn(link_id) per hop, X first then Y.
+  template <typename Fn>
+  void walk_route(NodeId src, NodeId dst, Fn&& fn) const {
+    int x = src % cfg_.width, y = src / cfg_.width;
+    const int dx = dst % cfg_.width, dy = dst / cfg_.width;
+    while (x != dx) {
+      const int dir = dx > x ? 0 : 1;
+      fn(link_id(y * cfg_.width + x, dir));
+      x += dx > x ? 1 : -1;
+    }
+    while (y != dy) {
+      const int dir = dy > y ? 2 : 3;
+      fn(link_id(y * cfg_.width + x, dir));
+      y += dy > y ? 1 : -1;
+    }
+  }
+
+  // Meshes up to this many nodes precompute every pair's route once; send()
+  // then reads spans out of the pools instead of allocating per message.
+  static constexpr int kPathTableMaxNodes = 256;
+  // Inline slots for the no-table fallback and for held guards: covers any
+  // path in a mesh up to 17x17 without touching the heap.
+  static constexpr std::size_t kInlinePathSlots = 32;
+
+  void build_path_table();
+  std::span<const int> table_span(const std::vector<int>& pool, NodeId src,
+                                  NodeId dst) const {
+    const std::size_t pair = static_cast<std::size_t>(src) * cfg_.node_count() + dst;
+    return {pool.data() + pair_off_[pair], pair_off_[pair + 1] - pair_off_[pair]};
+  }
 
   struct DegradedWindow {
     NodeId node;
@@ -83,7 +143,7 @@ class MeshNetwork {
     SimTime from;
     SimTime until;
   };
-  double degrade_factor_now(NodeId src, NodeId dst, const std::vector<int>& path) const;
+  double degrade_factor_now(NodeId src, NodeId dst, std::span<const int> path) const;
 
   sim::Simulation& sim_;
   MeshConfig cfg_;
@@ -93,7 +153,16 @@ class MeshNetwork {
   std::vector<DegradedWindow> degraded_windows_;
   std::uint64_t degraded_messages_ = 0;
 
+  // Route table: link ids for every (src, dst) pair, in path order
+  // (path_pool_) and canonical acquisition order (sorted_pool_), both
+  // indexed by pair_off_. Empty when the mesh exceeds kPathTableMaxNodes.
+  std::vector<int> path_pool_;
+  std::vector<int> sorted_pool_;
+  std::vector<std::uint32_t> pair_off_;
+
   std::uint64_t messages_ = 0;
+  std::uint64_t segmented_messages_ = 0;
+  std::uint64_t segments_sent_ = 0;
   ByteCount bytes_ = 0;
 };
 

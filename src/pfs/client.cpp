@@ -47,9 +47,27 @@ const PfsClient::OpenFile& PfsClient::fstate(int fd) const {
 }
 
 sim::Task<void> PfsClient::metadata_rpc() {
+  ++rpc_stats_.metadata_rpcs;
   const auto ctrl = fs_.params().control_message_bytes;
   co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(), ctrl);
   co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_, ctrl);
+}
+
+sim::Task<void> PfsClient::ensure_stripe_map(const PfsFileMeta& meta) {
+  const std::uint64_t epoch = fs_.topology_epoch();
+  auto it = stripe_map_epoch_.find(meta.id);
+  if (it != stripe_map_epoch_.end() && it->second == epoch) co_return;
+  // One metadata round-trip (re)loads the file's whole stripe map; until a
+  // crash/restore bumps the topology epoch, every later operation on this
+  // file resolves its extents from the cached map instead of paying a
+  // per-operation metadata trip. The cache is stamped before awaiting so
+  // concurrent operations on the same file piggyback on the in-flight load
+  // instead of stampeding the metadata node (the load itself cannot fail —
+  // the mesh always delivers).
+  stripe_map_epoch_[meta.id] = epoch;
+  ++rpc_stats_.stripe_map_refreshes;
+  co_await metadata_rpc();
+  co_await machine_.cpu(fs_.metadata_node()).compute(fs_.params().pointer_service_time);
 }
 
 sim::Task<int> PfsClient::open(const std::string& name, IoMode mode) {
@@ -123,6 +141,7 @@ sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
   const hw::NodeId io_node = machine_.io_node(req.io_index);
   const sim::SimTime deadline =
       machine_.simulation().now() + fs_.params().retry.total_budget_s;
+  ++rpc_stats_.data_rpcs;
 
   for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
     PfsServer& srv = fs_.server(req.io_index);
@@ -182,6 +201,168 @@ sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
   }
 }
 
+sim::Task<void> PfsClient::fetch_coalesced(PfsFileMeta& meta, CoalescedRequest req,
+                                           FileOffset base, std::span<std::byte> out,
+                                           bool fastpath) {
+  const auto ctrl = fs_.params().control_message_bytes;
+  const hw::NodeId io_node = machine_.io_node(req.io_index);
+  const sim::SimTime deadline =
+      machine_.simulation().now() + fs_.params().retry.total_budget_s;
+  ++rpc_stats_.data_rpcs;
+  ++rpc_stats_.coalesced_rpcs;
+  rpc_stats_.coalesced_extents += req.extents.size();
+
+  for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
+    PfsServer& srv = fs_.server(req.io_index);
+    std::vector<std::byte> staging(req.length);
+    std::vector<PfsServer::ExtentOp> ops;
+    ops.reserve(req.extents.size());
+    ByteCount stage_off = 0;
+    for (const CoalescedExtent& e : req.extents) {
+      PfsServer::ExtentOp op;
+      op.ino = meta.stripe_inos[e.group_slot];
+      op.local_off = e.local_offset;
+      op.len = e.length;
+      op.out = std::span<std::byte>(staging).subspan(stage_off, e.length);
+      ops.push_back(op);
+      stage_off += e.length;
+    }
+    ByteCount got = 0;
+    fault::ErrorCause cause{};
+    bool failed = false;
+    try {
+      ++rpc_stats_.attempts;
+      const std::uint64_t epoch = srv.crash_epoch();
+
+      // One control message carries the whole extent list out; one data
+      // reply carries every extent's bytes back.
+      co_await machine_.mesh().send(mesh_node_, io_node, ctrl);
+      co_await srv.read_batch(ops, fastpath);
+      for (const PfsServer::ExtentOp& op : ops) got += op.got;
+      if (srv.crash_epoch() != epoch) {
+        throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                                "io" + std::to_string(req.io_index) +
+                                    " reply lost in crash");
+      }
+      co_await machine_.mesh().send(io_node, mesh_node_, got > 0 ? got : ctrl);
+    } catch (const fault::FaultError& e) {
+      cause = e.cause();
+      failed = true;
+    }
+    if (failed) {
+      ++failures;
+      co_await rpc_recover(req.io_index, cause, attempt, failures, deadline);
+      continue;
+    }
+    if (failures > 0) {
+      rpc_stats_.retried_ok += failures;
+      if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
+    }
+
+    // Scatter each extent's bytes into their file-space slots. The auditor
+    // cross-checks that the bytes the servers reported moved are exactly
+    // the bytes that land in the user buffer — the merged ranges arrive
+    // once each, none lost, none duplicated (retries cannot double-count:
+    // only the surviving attempt scatters).
+    ByteCount delivered = 0;
+    for (std::size_t i = 0; i < req.extents.size(); ++i) {
+      const CoalescedExtent& e = req.extents[i];
+      const std::span<const std::byte> src = ops[i].out;
+      ByteCount cursor = 0;
+      for (const StripePiece& piece : e.pieces) {
+        if (cursor >= ops[i].got) break;
+        const ByteCount n = std::min<ByteCount>(piece.length, ops[i].got - cursor);
+        std::memcpy(out.data() + (piece.file_offset - base), src.data() + cursor, n);
+        cursor += n;
+        delivered += n;
+      }
+    }
+    if (auto* a = machine_.simulation().auditor()) {
+      a->check_coalesce_conservation(machine_.simulation().now(), got, delivered);
+    }
+    co_return;
+  }
+}
+
+sim::Task<void> PfsClient::store_coalesced(PfsFileMeta& meta, CoalescedRequest req,
+                                           FileOffset base, std::span<const std::byte> in,
+                                           bool fastpath) {
+  const auto ctrl = fs_.params().control_message_bytes;
+  const hw::NodeId io_node = machine_.io_node(req.io_index);
+  const sim::SimTime deadline =
+      machine_.simulation().now() + fs_.params().retry.total_budget_s;
+  ++rpc_stats_.data_rpcs;
+  ++rpc_stats_.coalesced_rpcs;
+  rpc_stats_.coalesced_extents += req.extents.size();
+
+  // Gather every extent's file-space pieces into one contiguous wire image;
+  // the auditor confirms the image holds exactly the union of the merged
+  // ranges before it ever hits the wire.
+  std::vector<std::byte> staging(req.length);
+  ByteCount gathered = 0;
+  {
+    ByteCount stage_off = 0;
+    for (const CoalescedExtent& e : req.extents) {
+      ByteCount cursor = 0;
+      for (const StripePiece& piece : e.pieces) {
+        std::memcpy(staging.data() + stage_off + cursor,
+                    in.data() + (piece.file_offset - base), piece.length);
+        cursor += piece.length;
+        gathered += piece.length;
+      }
+      stage_off += e.length;
+    }
+  }
+  if (auto* a = machine_.simulation().auditor()) {
+    a->check_coalesce_conservation(machine_.simulation().now(), req.length, gathered);
+  }
+
+  for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
+    PfsServer& srv = fs_.server(req.io_index);
+    std::vector<PfsServer::ExtentOp> ops;
+    ops.reserve(req.extents.size());
+    ByteCount stage_off = 0;
+    for (const CoalescedExtent& e : req.extents) {
+      PfsServer::ExtentOp op;
+      op.ino = meta.stripe_inos[e.group_slot];
+      op.local_off = e.local_offset;
+      op.len = e.length;
+      op.in = std::span<const std::byte>(staging).subspan(stage_off, e.length);
+      ops.push_back(op);
+      stage_off += e.length;
+    }
+    fault::ErrorCause cause{};
+    bool failed = false;
+    try {
+      ++rpc_stats_.attempts;
+      const std::uint64_t epoch = srv.crash_epoch();
+
+      // One data message carries every extent; one ack comes back.
+      co_await machine_.mesh().send(mesh_node_, io_node, req.length);
+      co_await srv.write_batch(ops, fastpath);
+      if (srv.crash_epoch() != epoch) {
+        throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                                "io" + std::to_string(req.io_index) +
+                                    " ack lost in crash");
+      }
+      co_await machine_.mesh().send(io_node, mesh_node_, ctrl);
+    } catch (const fault::FaultError& e) {
+      cause = e.cause();
+      failed = true;
+    }
+    if (failed) {
+      ++failures;
+      co_await rpc_recover(req.io_index, cause, attempt, failures, deadline);
+      continue;
+    }
+    if (failures > 0) {
+      rpc_stats_.retried_ok += failures;
+      if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
+    }
+    co_return;
+  }
+}
+
 sim::Task<void> PfsClient::rpc_recover(int io_index, fault::ErrorCause cause,
                                        std::uint32_t attempt, std::uint32_t failures,
                                        sim::SimTime deadline) {
@@ -234,6 +415,20 @@ sim::Task<ByteCount> PfsClient::read_at(int fd, FileOffset off, ByteCount len,
   len = std::min<ByteCount>(len, meta.size - off);
   assert(out.size() >= len);
 
+  if (fs_.params().coalesce_rpcs) {
+    // Extents bound for the same I/O node merge into one scatter-gather
+    // RPC; the cached stripe map replaces per-operation metadata trips.
+    co_await ensure_stripe_map(meta);
+    auto coalesced = coalesce_by_io(meta.layout.map(off, len));
+    std::vector<sim::Task<void>> parts;
+    parts.reserve(coalesced.size());
+    for (auto& req : coalesced) {
+      parts.push_back(fetch_coalesced(meta, std::move(req), off, out, fastpath));
+    }
+    co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
+    co_return len;
+  }
+
   auto requests = meta.layout.map(off, len);
   std::vector<sim::Task<void>> parts;
   parts.reserve(requests.size());
@@ -258,6 +453,7 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
   switch (f.mode) {
     case IoMode::kUnix: {
       // Atomicity: take the per-file token for the whole transfer.
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
@@ -275,6 +471,7 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
     case IoMode::kLog: {
       // M_LOG is an atomic mode: the claim AND the transfer are serialized
       // first-come-first-served, like a log append.
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
@@ -285,6 +482,7 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
     }
     case IoMode::kSync:
     case IoMode::kGlobal: {
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,
@@ -348,6 +546,7 @@ sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
   const hw::NodeId io_node = machine_.io_node(req.io_index);
   const sim::SimTime deadline =
       machine_.simulation().now() + fs_.params().retry.total_budget_s;
+  ++rpc_stats_.data_rpcs;
 
   // Gather file-space pieces into the contiguous stripe-file image.
   std::vector<std::byte> staging(req.length);
@@ -400,6 +599,19 @@ sim::Task<void> PfsClient::write_at(int fd, FileOffset off, std::span<const std:
   co_await cpu().compute(cpu().params().syscall_overhead);
   if (in.empty()) co_return;
 
+  if (fs_.params().coalesce_rpcs) {
+    co_await ensure_stripe_map(meta);
+    auto coalesced = coalesce_by_io(meta.layout.map(off, in.size()));
+    std::vector<sim::Task<void>> parts;
+    parts.reserve(coalesced.size());
+    for (auto& req : coalesced) {
+      parts.push_back(store_coalesced(meta, std::move(req), off, in, /*fastpath=*/true));
+    }
+    co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
+    meta.size = std::max<ByteCount>(meta.size, off + in.size());
+    co_return;
+  }
+
   auto requests = meta.layout.map(off, in.size());
   std::vector<sim::Task<void>> parts;
   parts.reserve(requests.size());
@@ -419,6 +631,7 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
   sim::ResourceGuard unix_lock;
   switch (f.mode) {
     case IoMode::kUnix: {
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
@@ -434,6 +647,7 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
       off = f.pointer + static_cast<FileOffset>(rank_) * len;
       break;
     case IoMode::kLog: {
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
@@ -444,6 +658,7 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
     }
     case IoMode::kSync:
     case IoMode::kGlobal: {
+      ++rpc_stats_.pointer_rpcs;
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,

@@ -77,6 +77,14 @@ struct ClientStats {
 /// and per-cause failure classification.
 struct RpcStats {
   std::uint64_t attempts = 0;         // RPC attempts issued (incl. reissues)
+  // Per-class RPC counters: without them the metadata node's control
+  // traffic is invisible in the stats even though it is the hot spot.
+  std::uint64_t data_rpcs = 0;      // fetch/store extent RPCs (one per request)
+  std::uint64_t metadata_rpcs = 0;  // metadata-node round trips (open, seek, map)
+  std::uint64_t pointer_rpcs = 0;   // pointer/lock/collective claims inside read/write
+  std::uint64_t coalesced_rpcs = 0;     // data RPCs that were scatter-gather
+  std::uint64_t coalesced_extents = 0;  // extents those RPCs carried
+  std::uint64_t stripe_map_refreshes = 0;  // cached stripe-map (re)loads
   std::uint64_t retries = 0;          // reissues after a failed attempt
   std::uint64_t retried_ok = 0;       // failed attempts eventually healed by retry
   std::uint64_t down_waits = 0;       // recovery waits for a down I/O node
@@ -184,6 +192,21 @@ class PfsClient {
   sim::Task<void> store_extent(PfsFileMeta& meta, IoNodeRequest req, FileOffset base,
                                std::span<const std::byte> in, bool fastpath);
 
+  /// Scatter-gather variants (PfsParams::coalesce_rpcs): every extent bound
+  /// for one I/O node rides one RPC — one control round-trip, one server
+  /// request-handling charge, one data reply. Same reliability envelope.
+  sim::Task<void> fetch_coalesced(PfsFileMeta& meta, CoalescedRequest req, FileOffset base,
+                                  std::span<std::byte> out, bool fastpath);
+  sim::Task<void> store_coalesced(PfsFileMeta& meta, CoalescedRequest req, FileOffset base,
+                                  std::span<const std::byte> in, bool fastpath);
+
+  /// Per-file stripe-map cache (coalesced path only): the first operation
+  /// on a file — and the first after any crash/restore bumps the mount's
+  /// topology epoch — pays one metadata round-trip to (re)load the map;
+  /// every later operation resolves extents locally instead of paying a
+  /// per-operation metadata/pointer trip.
+  sim::Task<void> ensure_stripe_map(const PfsFileMeta& meta);
+
   /// Shared failure path of the envelope: account the caught fault, wait
   /// out a down node (bounded by `deadline`), back off before the reissue
   /// — or give up by throwing a terminal FaultError. `failures` counts the
@@ -202,6 +225,7 @@ class PfsClient {
   Prefetcher* prefetcher_ = nullptr;
   ArtQueue arts_;
   std::map<int, OpenFile> fds_;
+  std::map<FileId, std::uint64_t> stripe_map_epoch_;  // file -> topology epoch cached at
   int next_fd_ = 3;
   ClientStats stats_;
   RpcStats rpc_stats_;

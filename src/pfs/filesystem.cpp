@@ -12,6 +12,7 @@ PfsFileSystem::PfsFileSystem(hw::Machine& machine, PfsParams params)
       collectives_(machine, metadata_node_, pointers_, params_.pointer_service_time) {
   for (int i = 0; i < machine.io_node_count(); ++i) {
     servers_.push_back(std::make_unique<PfsServer>(machine, i, params_));
+    servers_.back()->set_topology_epoch_counter(&topology_epoch_);
   }
 }
 

@@ -67,6 +67,12 @@ class PfsFileSystem {
   hw::NodeId metadata_node() const noexcept { return metadata_node_; }
   const PfsParams& params() const noexcept { return params_; }
 
+  /// Mount-wide topology epoch: bumped by every server crash AND restore.
+  /// Clients compare it against the epoch stamped on their cached stripe
+  /// maps — a mismatch forces a metadata refresh before the next coalesced
+  /// operation (see PfsClient::ensure_stripe_map).
+  std::uint64_t topology_epoch() const noexcept { return topology_epoch_; }
+
  private:
   hw::Machine& machine_;
   PfsParams params_;
@@ -77,6 +83,7 @@ class PfsFileSystem {
   std::map<std::string, std::unique_ptr<PfsFileMeta>> files_;
   std::map<FileId, PfsFileMeta*> by_id_;
   FileId next_id_ = 1;
+  std::uint64_t topology_epoch_ = 0;
 };
 
 }  // namespace ppfs::pfs

@@ -1,6 +1,9 @@
 #include "pfs/server.hpp"
 
-#include "fault/error.hpp"
+#include <limits>
+
+#include "hw/disk_sched.hpp"
+#include "sim/when_all.hpp"
 
 namespace ppfs::pfs {
 
@@ -21,6 +24,7 @@ void PfsServer::crash() {
   if (down_) return;
   down_ = true;
   ++crash_epoch_;
+  if (topology_epoch_) ++*topology_epoch_;
   up_ev_.reset();
 }
 
@@ -28,7 +32,168 @@ void PfsServer::restore() {
   if (!down_) return;
   down_ = false;
   ufs_.drop_caches();  // restart comes back cold
+  if (topology_epoch_) ++*topology_epoch_;
   up_ev_.set();
+}
+
+std::uint64_t PfsServer::phys_key(const QueuedIo& item) const {
+  const ufs::Inode& ino = ufs_.inode_of(item.ino);
+  const std::uint64_t lblock = item.off / params_.ufs.block_bytes;
+  if (lblock < ino.blocks.size()) return ino.blocks[lblock];
+  return std::numeric_limits<std::uint64_t>::max();  // unallocated: serve last
+}
+
+void PfsServer::enqueue(QueuedIo& item) {
+  queue_.push_back(&item);
+  // The dispatcher is NOT kicked here: callers enqueue every extent of an
+  // RPC first, then spawn the (eager) dispatcher, so one RPC's extents are
+  // always sorted as a single batch.
+}
+
+sim::Task<void> PfsServer::sweep_and_signal(std::vector<sim::Task<void>> parts,
+                                            sim::Event& done) {
+  co_await sim::when_all(machine_.simulation(), std::move(parts));
+  done.set();
+}
+
+sim::Task<void> PfsServer::batch_dispatch() {
+  // Keep at most two sweeps in flight: spawn sweep k, then wait for sweep
+  // k-1 before collecting sweep k+1. A full barrier between sweeps would
+  // idle the disks behind every sweep's bus-transfer tail; with one sweep
+  // of lookahead the device queues never drain while issue order (and so
+  // physical ordering at each member disk) is preserved.
+  std::unique_ptr<sim::Event> prev;
+  for (;;) {
+    if (queue_.empty()) {
+      if (!prev) break;
+      co_await prev->wait();
+      prev.reset();
+      continue;  // arrivals during the wait get their own sweep
+    }
+    std::vector<QueuedIo*> batch;
+    batch.swap(queue_);
+    ++batch_sweeps_;
+    batched_extents_ += batch.size();
+
+    // One elevator sweep over the batch in physical-position order; items
+    // arriving while the sweep runs queue up for the next one.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(batch.size());
+    for (const QueuedIo* item : batch) keys.push_back(phys_key(*item));
+    const std::vector<std::size_t> order = hw::sweep_order(keys, sweep_head_);
+
+    // Issue the sweep in physical-position order. Consecutive sweep items
+    // that qualify for the fast path are handed to the UFS as ONE sorted
+    // batch (ufs::Ufs::read_sorted): physically-contiguous blocks — even
+    // across stripe-file boundaries — merge into single streaming device
+    // transfers, which is where batching actually beats arrival order
+    // (one seek and one controller/bus charge per run, not per block).
+    // Items the fast path can't take (writes, unaligned or EOF-straddling
+    // reads) are served individually, still in sweep order; the FIFO
+    // resources downstream preserve issue order while the pipeline stages
+    // overlap across items.
+    std::vector<sim::Task<void>> parts;
+    parts.reserve(order.size());
+    std::vector<QueuedIo*> group;
+    const auto flush_group = [&] {
+      if (group.empty()) return;
+      parts.push_back(serve_sorted(std::move(group)));
+      group.clear();
+    };
+    for (std::size_t idx : order) {
+      QueuedIo& item = *batch[idx];
+      if (!down_ && !item.is_write && item.fastpath &&
+          ufs_.fastpath_read_eligible(item.ino, item.off, item.len)) {
+        group.push_back(&item);
+      } else {
+        flush_group();
+        parts.push_back(serve_queued(item));
+      }
+    }
+    flush_group();
+    sweep_head_ = keys[order.back()];
+    auto done = std::make_unique<sim::Event>(machine_.simulation());
+    machine_.simulation().spawn(sweep_and_signal(std::move(parts), *done));
+    if (prev) co_await prev->wait();
+    prev = std::move(done);
+  }
+  dispatcher_running_ = false;
+}
+
+sim::Task<void> PfsServer::serve_sorted(std::vector<QueuedIo*> group) {
+  std::vector<ufs::Ufs::BatchRead> reads;
+  reads.reserve(group.size());
+  for (const QueuedIo* item : group) {
+    reads.push_back(ufs::Ufs::BatchRead{item->ino, item->off, item->len, item->out, 0});
+  }
+  try {
+    co_await ufs_.read_sorted(reads);
+    for (std::size_t i = 0; i < group.size(); ++i) group[i]->got = reads[i].got;
+  } catch (const fault::FaultError& e) {
+    // A fault mid-sweep fails the whole group; each client retries its
+    // (idempotent) RPC through the usual envelope.
+    for (QueuedIo* item : group) {
+      item->failed = true;
+      item->cause = e.cause();
+      item->what = e.what();
+    }
+  }
+  for (QueuedIo* item : group) item->done.set();
+}
+
+sim::Task<void> PfsServer::serve_queued(QueuedIo& item) {
+  if (down_) {
+    // A crash fails everything still queued; clients recover through the
+    // usual RPC envelope (down-wait, reissue after restore).
+    item.failed = true;
+    item.cause = fault::ErrorCause::kNodeDown;
+    item.what = "io" + std::to_string(io_index_) + " daemon down";
+    item.done.set();
+    co_return;
+  }
+  try {
+    if (item.is_write) {
+      co_await ufs_.write(item.ino, item.off, item.in, item.fastpath);
+      item.got = item.in.size();
+    } else {
+      item.got = co_await ufs_.read(item.ino, item.off, item.len, item.out, item.fastpath);
+    }
+  } catch (const fault::FaultError& e) {
+    item.failed = true;
+    item.cause = e.cause();
+    item.what = e.what();
+  }
+  item.done.set();
+}
+
+sim::Task<ByteCount> PfsServer::serve_extent(ufs::InodeNum ino, FileOffset off,
+                                             ByteCount len, std::span<std::byte> out,
+                                             std::span<const std::byte> in, bool is_write,
+                                             bool fastpath) {
+  if (!params_.server_batch) {
+    if (is_write) {
+      co_await ufs_.write(ino, off, in, fastpath);
+      co_return in.size();
+    }
+    co_return co_await ufs_.read(ino, off, len, out, fastpath);
+  }
+
+  QueuedIo item(machine_.simulation());
+  item.ino = ino;
+  item.off = off;
+  item.len = len;
+  item.out = out;
+  item.in = in;
+  item.is_write = is_write;
+  item.fastpath = fastpath;
+  enqueue(item);
+  if (!dispatcher_running_) {
+    dispatcher_running_ = true;
+    machine_.simulation().spawn(batch_dispatch());
+  }
+  co_await item.done.wait();
+  if (item.failed) throw fault::FaultError(item.cause, item.what);
+  co_return item.got;
 }
 
 sim::Task<ByteCount> PfsServer::read(ufs::InodeNum ino, FileOffset local_off, ByteCount len,
@@ -39,6 +204,10 @@ sim::Task<ByteCount> PfsServer::read(ufs::InodeNum ino, FileOffset local_off, By
   }
   ++requests_;
   co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+  if (params_.server_batch) {
+    co_return co_await serve_extent(ino, local_off, len, out, {}, /*is_write=*/false,
+                                    fastpath);
+  }
   co_return co_await ufs_.read(ino, local_off, len, out, fastpath);
 }
 
@@ -50,7 +219,118 @@ sim::Task<void> PfsServer::write(ufs::InodeNum ino, FileOffset local_off,
   }
   ++requests_;
   co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+  if (params_.server_batch) {
+    co_await serve_extent(ino, local_off, 0, {}, in, /*is_write=*/true, fastpath);
+    co_return;
+  }
   co_await ufs_.write(ino, local_off, in, fastpath);
+}
+
+sim::Task<void> PfsServer::read_batch(std::span<ExtentOp> ops, bool fastpath) {
+  if (down_) {
+    throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                            "io" + std::to_string(io_index_) + " daemon down");
+  }
+  ++requests_;
+  // One request-handling charge for the whole scatter-gather RPC — the
+  // saving that motivates coalescing.
+  co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+
+  if (params_.server_batch) {
+    // Enqueue every extent before kicking the dispatcher so the whole RPC
+    // sorts as one sweep (spawn runs the dispatcher eagerly).
+    std::deque<QueuedIo> items;
+    for (ExtentOp& op : ops) {
+      QueuedIo& item = items.emplace_back(machine_.simulation());
+      item.ino = op.ino;
+      item.off = op.local_off;
+      item.len = op.len;
+      item.out = op.out;
+      item.fastpath = fastpath;
+      enqueue(item);
+    }
+    if (!dispatcher_running_ && !queue_.empty()) {
+      dispatcher_running_ = true;
+      machine_.simulation().spawn(batch_dispatch());
+    }
+    bool failed = false;
+    fault::ErrorCause cause{};
+    std::string what;
+    std::size_t i = 0;
+    for (ExtentOp& op : ops) {
+      QueuedIo& item = items[i++];
+      co_await item.done.wait();
+      op.got = item.got;
+      if (item.failed && !failed) {
+        failed = true;
+        cause = item.cause;
+        what = item.what;
+      }
+    }
+    if (failed) throw fault::FaultError(cause, what);
+    co_return;
+  }
+
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(ops.size());
+  for (ExtentOp& op : ops) {
+    parts.push_back([](PfsServer& self, ExtentOp& o, bool fast) -> sim::Task<void> {
+      o.got = co_await self.ufs_.read(o.ino, o.local_off, o.len, o.out, fast);
+    }(*this, op, fastpath));
+  }
+  co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
+}
+
+sim::Task<void> PfsServer::write_batch(std::span<ExtentOp> ops, bool fastpath) {
+  if (down_) {
+    throw fault::FaultError(fault::ErrorCause::kNodeDown,
+                            "io" + std::to_string(io_index_) + " daemon down");
+  }
+  ++requests_;
+  co_await machine_.cpu(mesh_node_).compute(params_.server_request_overhead);
+
+  if (params_.server_batch) {
+    std::deque<QueuedIo> items;
+    for (ExtentOp& op : ops) {
+      QueuedIo& item = items.emplace_back(machine_.simulation());
+      item.ino = op.ino;
+      item.off = op.local_off;
+      item.in = op.in;
+      item.is_write = true;
+      item.fastpath = fastpath;
+      enqueue(item);
+    }
+    if (!dispatcher_running_ && !queue_.empty()) {
+      dispatcher_running_ = true;
+      machine_.simulation().spawn(batch_dispatch());
+    }
+    bool failed = false;
+    fault::ErrorCause cause{};
+    std::string what;
+    std::size_t i = 0;
+    for (ExtentOp& op : ops) {
+      QueuedIo& item = items[i++];
+      co_await item.done.wait();
+      op.got = item.got;
+      if (item.failed && !failed) {
+        failed = true;
+        cause = item.cause;
+        what = item.what;
+      }
+    }
+    if (failed) throw fault::FaultError(cause, what);
+    co_return;
+  }
+
+  std::vector<sim::Task<void>> parts;
+  parts.reserve(ops.size());
+  for (ExtentOp& op : ops) {
+    parts.push_back([](PfsServer& self, ExtentOp& o, bool fast) -> sim::Task<void> {
+      co_await self.ufs_.write(o.ino, o.local_off, o.in, fast);
+      o.got = o.in.size();
+    }(*this, op, fastpath));
+  }
+  co_await sim::when_all_propagate(machine_.simulation(), std::move(parts));
 }
 
 }  // namespace ppfs::pfs

@@ -4,12 +4,24 @@
 // and write requests for the stripe files it hosts. Per-request CPU costs
 // are charged against the I/O node's processor, so many compute nodes
 // hammering one I/O node contend for its CPU as well as its disk.
+//
+// Data-path options (both default off; see DESIGN.md §8):
+//  - coalesce_rpcs: clients merge same-I/O-node extents into scatter-gather
+//    RPCs served by read_batch/write_batch — one request-handling charge
+//    and one control round-trip instead of one per extent.
+//  - server_batch: extent service funnels through a per-node queue; a
+//    spawn-on-demand dispatcher drains it in physical (elevator-sweep)
+//    order, so concurrently-arriving requests become one disk sweep
+//    instead of N arrival-order seeks.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "fault/error.hpp"
 #include "fault/retry.hpp"
 #include "hw/machine.hpp"
 #include "sim/event.hpp"
@@ -35,6 +47,13 @@ struct PfsParams {
   std::size_t max_arts_per_client = 4;
   /// Client-side RPC reliability envelope (retries, backoff, deadline).
   fault::RetryPolicy retry;
+  /// Merge an operation's same-I/O-node extents into one scatter-gather
+  /// RPC (single control round-trip, single request-handling charge) and
+  /// cache the per-file stripe map client-side with epoch invalidation.
+  bool coalesce_rpcs = false;
+  /// Queue concurrently-arriving extent requests per I/O node and serve
+  /// them as physically-sorted batches (one elevator sweep, not N seeks).
+  bool server_batch = false;
 };
 
 class PfsServer {
@@ -53,11 +72,32 @@ class PfsServer {
   sim::Task<void> write(ufs::InodeNum ino, FileOffset local_off,
                         std::span<const std::byte> in, bool fastpath);
 
+  /// One extent of a scatter-gather RPC.
+  struct ExtentOp {
+    ufs::InodeNum ino;
+    FileOffset local_off = 0;
+    ByteCount len = 0;
+    std::span<std::byte> out;       // read target (empty for writes)
+    std::span<const std::byte> in;  // write source (empty for reads)
+    ByteCount got = 0;              // bytes actually moved, filled by the server
+  };
+
+  /// Serve every extent of one coalesced RPC: the request-handling CPU is
+  /// charged once for the whole RPC, then the extents proceed concurrently
+  /// (through the batch queue when server_batch is on). Fills op.got per
+  /// extent. A failed extent surfaces as FaultError after the siblings
+  /// settle — the client retries the whole (idempotent) RPC.
+  sim::Task<void> read_batch(std::span<ExtentOp> ops, bool fastpath);
+  sim::Task<void> write_batch(std::span<ExtentOp> ops, bool fastpath);
+
   ufs::Ufs& ufs() noexcept { return ufs_; }
   int io_index() const noexcept { return io_index_; }
   hw::NodeId mesh_node() const noexcept { return mesh_node_; }
 
   std::uint64_t requests_served() const noexcept { return requests_; }
+  /// Batch-queue telemetry: dispatcher sweeps run, extents they carried.
+  std::uint64_t batch_sweeps() const noexcept { return batch_sweeps_; }
+  std::uint64_t batched_extents() const noexcept { return batched_extents_; }
 
   // --- crash/restart fault model ---
   /// Take the I/O daemon down. Requests arriving while down fail with
@@ -75,7 +115,48 @@ class PfsServer {
   /// is unchanged across the request's service time.
   std::uint64_t crash_epoch() const noexcept { return crash_epoch_; }
 
+  /// Wire up the mount-wide topology epoch (PfsFileSystem owns it): every
+  /// crash and restore bumps it, invalidating client-cached stripe maps.
+  void set_topology_epoch_counter(std::uint64_t* counter) noexcept {
+    topology_epoch_ = counter;
+  }
+
  private:
+  /// A queued extent awaiting the batch dispatcher. Lives in the enqueuing
+  /// coroutine's frame until `done` fires.
+  struct QueuedIo {
+    ufs::InodeNum ino;
+    FileOffset off = 0;
+    ByteCount len = 0;
+    std::span<std::byte> out;
+    std::span<const std::byte> in;
+    bool is_write = false;
+    bool fastpath = true;
+    ByteCount got = 0;
+    bool failed = false;
+    fault::ErrorCause cause{};
+    std::string what;
+    sim::Event done;
+    explicit QueuedIo(sim::Simulation& s) : done(s) {}
+  };
+
+  /// Run one extent: enqueue for the dispatcher when server_batch is on,
+  /// otherwise hit the UFS directly (the legacy event sequence).
+  sim::Task<ByteCount> serve_extent(ufs::InodeNum ino, FileOffset off, ByteCount len,
+                                    std::span<std::byte> out, std::span<const std::byte> in,
+                                    bool is_write, bool fastpath);
+  void enqueue(QueuedIo& item);
+  sim::Task<void> batch_dispatch();
+  /// Run one sweep's tasks to completion, then fire `done` (the
+  /// dispatcher's pipelining handle).
+  sim::Task<void> sweep_and_signal(std::vector<sim::Task<void>> parts, sim::Event& done);
+  /// One sweep item: UFS access with FaultError captured into the item.
+  sim::Task<void> serve_queued(QueuedIo& item);
+  /// A run of fastpath-eligible sweep reads served as one sorted UFS
+  /// batch (contiguous blocks merge into single device transfers).
+  sim::Task<void> serve_sorted(std::vector<QueuedIo*> group);
+  std::uint64_t phys_key(const QueuedIo& item) const;
+
   hw::Machine& machine_;
   int io_index_;
   hw::NodeId mesh_node_;
@@ -87,6 +168,13 @@ class PfsServer {
   bool down_ = false;
   std::uint64_t crash_epoch_ = 0;
   sim::Event up_ev_;
+  std::uint64_t* topology_epoch_ = nullptr;
+
+  std::vector<QueuedIo*> queue_;
+  bool dispatcher_running_ = false;
+  std::uint64_t sweep_head_ = 0;
+  std::uint64_t batch_sweeps_ = 0;
+  std::uint64_t batched_extents_ = 0;
 };
 
 }  // namespace ppfs::pfs

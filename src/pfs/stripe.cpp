@@ -45,6 +45,27 @@ std::vector<IoNodeRequest> StripeLayout::map(FileOffset off, ByteCount len) cons
   return out;
 }
 
+std::vector<CoalescedRequest> coalesce_by_io(std::vector<IoNodeRequest> reqs) {
+  std::vector<CoalescedRequest> out;
+  for (IoNodeRequest& req : reqs) {
+    CoalescedRequest* dst = nullptr;
+    for (CoalescedRequest& c : out) {
+      if (c.io_index == req.io_index) {
+        dst = &c;
+        break;
+      }
+    }
+    if (!dst) {
+      out.push_back(CoalescedRequest{req.io_index, 0, {}});
+      dst = &out.back();
+    }
+    dst->length += req.length;
+    dst->extents.push_back(CoalescedExtent{req.group_slot, req.local_offset, req.length,
+                                           std::move(req.pieces)});
+  }
+  return out;
+}
+
 std::vector<ByteCount> StripeLayout::local_sizes(ByteCount file_size) const {
   const int n = attrs_.group_size();
   const ByteCount round = attrs_.stripe_unit * static_cast<ByteCount>(n);

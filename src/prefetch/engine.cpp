@@ -206,6 +206,11 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
     buf->offset = p;
     buf->length = len;
     buf->data.resize(len);
+    // The posted request travels the same positioned-read path as user
+    // I/O, so when extent coalescing / server batching are enabled the
+    // prefetch's blocks merge into scatter-gather RPCs and sorted disk
+    // sweeps exactly like demand reads — speculation gets no private,
+    // slower data path.
     buf->request = client_.post_prefetch(fd, p, len, buf->data);
     list.add(std::move(buf));
     if (auto* a = auditor()) a->on_buffer_allocated(this);

@@ -34,6 +34,7 @@ const char* to_string(Violation v) noexcept {
     case Violation::kResourceAccounting: return "resource-accounting";
     case Violation::kBufferConservation: return "buffer-conservation";
     case Violation::kFaultConservation: return "fault-conservation";
+    case Violation::kCoalesceConservation: return "coalesce-conservation";
   }
   return "unknown";
 }
@@ -218,6 +219,18 @@ void Auditor::check_fault_conservation(SimTime now, bool in_destructor) {
   }
 }
 
+// --- coalesced-RPC conservation ---------------------------------------------
+
+void Auditor::check_coalesce_conservation(SimTime now, ByteCount expected,
+                                          ByteCount delivered) {
+  if (expected != delivered) {
+    report(now, Violation::kCoalesceConservation,
+           "coalesced RPC delivered " + std::to_string(delivered) +
+               " byte(s), expected the union of its extents = " +
+               std::to_string(expected));
+  }
+}
+
 // --- seeded injection -------------------------------------------------------
 
 void Auditor::arm_injection(Violation kind, std::uint64_t seed) {
@@ -261,6 +274,10 @@ void Auditor::fire_injection(SimTime now) {
     case Violation::kFaultConservation:
       on_fault_observed(1);  // observed, never resolved
       check_fault_conservation(now);
+      break;
+    case Violation::kCoalesceConservation:
+      // A scatter that dropped one byte of its merged ranges.
+      check_coalesce_conservation(now, /*expected=*/1, /*delivered=*/0);
       break;
   }
 }

@@ -58,6 +58,7 @@ enum class Violation : std::uint8_t {
   kResourceAccounting,  // release > acquired, or units leaked at ~Resource
   kBufferConservation,  // allocated != consumed + discarded + freed-at-close
   kFaultConservation,   // observed != retried-ok + reconstructed + terminal
+  kCoalesceConservation,  // coalesced RPC delivered != the union of its extents
 };
 
 const char* to_string(Violation v) noexcept;
@@ -145,6 +146,15 @@ class Auditor {
   /// Verify observed == retried-ok + reconstructed + terminal. Call when no
   /// requests are in flight (end of run / teardown).
   void check_fault_conservation(SimTime now, bool in_destructor = false);
+
+  // --- coalesced-RPC conservation ---
+  //
+  // A scatter-gather RPC must deliver exactly the union of its merged block
+  // ranges, once. The client calls this after the final successful attempt
+  // scatters its data: `expected` is what the servers reported moved,
+  // `delivered` is what actually landed in the user buffer. Retries cannot
+  // double-count because delivery is only tallied on the surviving attempt.
+  void check_coalesce_conservation(SimTime now, ByteCount expected, ByteCount delivered);
 
   // --- seeded violation injection ---
   /// Arm a deliberate violation of `kind`, committed through the real

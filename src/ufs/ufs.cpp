@@ -117,6 +117,69 @@ sim::Task<ByteCount> Ufs::read_fastpath(const Inode& node, FileOffset off, ByteC
   co_return done;
 }
 
+bool Ufs::fastpath_read_eligible(InodeNum ino, FileOffset off, ByteCount len) const {
+  const Inode& node = inodes_.get(ino);
+  if (off >= node.size || len == 0) return false;
+  // A clamped (EOF-straddling) length degrades to the buffered path in
+  // read(); require the full aligned extent to be inside the file.
+  if (!aligned(off, len) || off + len > node.size) return false;
+  const std::uint64_t first = off / params_.block_bytes;
+  const std::uint64_t count = len / params_.block_bytes;
+  return first + count <= node.blocks.size();
+}
+
+sim::Task<void> Ufs::read_sorted(std::span<BatchRead> items) {
+  // Flatten every item to (physical block, destination) pairs, then walk
+  // the disk once in ascending position: stripe files interleave their
+  // blocks on the platter, so runs routinely cross file boundaries and
+  // only a block-level merge can recover the streaming transfer.
+  struct BlockRef {
+    std::uint64_t phys;
+    std::byte* dst;
+  };
+  std::vector<BlockRef> refs;
+  for (BatchRead& item : items) {
+    const Inode& node = inodes_.get(item.ino);
+    ++stats_.reads;
+    ++stats_.fastpath_reads;
+    stats_.bytes_read += item.len;
+    item.got = item.len;
+    const std::uint64_t first = item.off / params_.block_bytes;
+    const std::uint64_t count = item.len / params_.block_bytes;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      refs.push_back(
+          BlockRef{node.blocks.at(first + i), item.out.data() + i * params_.block_bytes});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const BlockRef& a, const BlockRef& b) { return a.phys < b.phys; });
+
+  if (tracer_ && tracer_->enabled(sim::TraceCat::kUfs)) {
+    std::ostringstream msg;
+    msg << "read_sorted items=" << items.size() << " blocks=" << refs.size();
+    tracer_->log(sim::TraceCat::kUfs, sim_.now(), name_, msg.str());
+  }
+
+  std::size_t i = 0;
+  while (i < refs.size()) {
+    std::size_t j = i + 1;
+    while (j < refs.size() && params_.coalesce &&
+           refs[j].phys == refs[j - 1].phys + 1) {
+      ++j;
+    }
+    const std::uint64_t run_count = refs[j - 1].phys - refs[i].phys + 1;
+    co_await device_.transfer(block_to_sector(refs[i].phys),
+                              run_count * params_.block_bytes, /*write=*/false);
+    for (std::size_t k = i; k < j; ++k) {
+      content_.read(device_offset(refs[k].phys, 0),
+                    std::span<std::byte>(refs[k].dst, params_.block_bytes));
+    }
+    ++stats_.disk_runs;
+    if (run_count > 1) stats_.coalesced_blocks += run_count;
+    i = j;
+  }
+}
+
 sim::Task<ByteCount> Ufs::read_buffered(const Inode& node, FileOffset off, ByteCount len,
                                         std::span<std::byte> out) {
   ByteCount done = 0;

@@ -87,6 +87,28 @@ class Ufs {
   sim::Task<void> write(InodeNum ino, FileOffset off, std::span<const std::byte> in,
                         bool fastpath);
 
+  /// One read of a physically-sorted batch (the PFS server's sweep).
+  struct BatchRead {
+    InodeNum ino;
+    FileOffset off = 0;
+    ByteCount len = 0;
+    std::span<std::byte> out;
+    ByteCount got = 0;  // filled by read_sorted
+  };
+
+  /// True when a read can take the cache-bypassing fast path AND every
+  /// covered block is allocated — the precondition for read_sorted.
+  bool fastpath_read_eligible(InodeNum ino, FileOffset off, ByteCount len) const;
+
+  /// Serve a batch of fastpath-eligible reads as one elevator sweep at
+  /// BLOCK granularity: every (physical block, destination) pair across
+  /// all items is sorted by disk position and physically-contiguous runs
+  /// — even runs crossing file boundaries — become single device
+  /// transfers. This is what makes server-side batching pay: N
+  /// interleaved stripe files cost one streaming pass, not N seeks and
+  /// N per-block controller/bus charges.
+  sim::Task<void> read_sorted(std::span<BatchRead> items);
+
   const UfsParams& params() const noexcept { return params_; }
   const UfsStats& stats() const noexcept { return stats_; }
   const BufferCache& cache() const noexcept { return cache_; }

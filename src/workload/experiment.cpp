@@ -144,6 +144,7 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
   hw::MachineConfig mcfg = hw::MachineConfig::paragon(spec_.ncompute, spec_.nio, spec_.raid);
   mcfg.compute_cpu = spec_.compute_cpu;
   mcfg.io_cpu = spec_.io_cpu;
+  mcfg.mesh.mtu = spec_.mesh_mtu;
   hw::Machine machine(sim, mcfg);
   pfs::PfsFileSystem fs(machine, spec_.pfs);
   const pfs::StripeAttrs attrs = w.attrs.value_or(fs.default_attrs());
@@ -287,6 +288,12 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
       res.faults.shed_prefetches += st.shed;
     }
     const auto& rpc = clients[r]->rpc_stats();
+    res.data_rpcs += rpc.data_rpcs;
+    res.metadata_rpcs += rpc.metadata_rpcs;
+    res.pointer_rpcs += rpc.pointer_rpcs;
+    res.coalesced_rpcs += rpc.coalesced_rpcs;
+    res.coalesced_extents += rpc.coalesced_extents;
+    res.stripe_map_refreshes += rpc.stripe_map_refreshes;
     res.faults.rpc_retries += rpc.retries;
     res.faults.rpc_down_waits += rpc.down_waits;
     res.faults.rpc_timeouts += rpc.timeouts;
@@ -295,7 +302,12 @@ ExperimentResult Experiment::run(const WorkloadSpec& w) const {
     res.faults.recovery_wait_time += rpc.recovery_wait_time;
   }
   res.faults.injected_events = static_cast<std::uint64_t>(injector.injected());
+  res.mesh_segmented_messages = machine.mesh().segmented_messages();
+  res.mesh_segments = machine.mesh().segments_sent();
+  res.top_links = machine.mesh().top_busy_links(5);
   for (int io = 0; io < spec_.nio; ++io) {
+    res.server_batch_sweeps += fs.server(io).batch_sweeps();
+    res.server_batched_extents += fs.server(io).batched_extents();
     hw::RaidArray& raid = machine.raid(io);
     res.faults.reconstructed_reads += raid.reconstructed_reads();
     res.faults.degraded_writes += raid.degraded_writes();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "fault/stats.hpp"
@@ -31,6 +32,9 @@ struct MachineSpec {
   hw::CpuParams compute_cpu{};
   hw::CpuParams io_cpu{};
   pfs::PfsParams pfs{};
+  /// Mesh segmentation MTU (0 = legacy circuit transfers). Applied to
+  /// MachineConfig::mesh when the experiment builds its machine.
+  ByteCount mesh_mtu = 0;
 };
 
 struct ExperimentResult {
@@ -52,6 +56,25 @@ struct ExperimentResult {
 
   prefetch::PrefetchStats prefetch;  // summed across nodes (zero w/o engine)
   std::uint64_t verify_failures = 0;
+
+  /// Per-class RPC traffic summed across clients (read phase + populate):
+  /// the split makes the metadata node's control-message load visible next
+  /// to the data traffic it serializes.
+  std::uint64_t data_rpcs = 0;
+  std::uint64_t metadata_rpcs = 0;
+  std::uint64_t pointer_rpcs = 0;
+  std::uint64_t coalesced_rpcs = 0;
+  std::uint64_t coalesced_extents = 0;
+  std::uint64_t stripe_map_refreshes = 0;
+
+  /// Data-path instrumentation: mesh segmentation and server batching.
+  std::uint64_t mesh_segmented_messages = 0;
+  std::uint64_t mesh_segments = 0;
+  std::uint64_t server_batch_sweeps = 0;
+  std::uint64_t server_batched_extents = 0;
+  /// Busiest mesh links (id, busy seconds), busiest first — the wiring
+  /// hot-spot view of the run.
+  std::vector<std::pair<int, sim::SimTime>> top_links;
 
   /// Fault/recovery counters summed across the whole stack (all zero on a
   /// healthy run with an empty plan).

@@ -88,6 +88,12 @@ the paper's metrics.
   --sgroup <n>          stripe group width (first n I/O nodes; 0 = all)
   --scsi16              SCSI-16 I/O nodes (4x bus bandwidth)
   --elevator            LOOK elevator disk scheduling
+  --mesh-mtu <size>     segment mesh messages above this size into pipelined
+                        packets (0 = circuit transfers, the default)
+  --coalesce            merge same-I/O-node extents into one scatter-gather
+                        RPC and cache the stripe map per file
+  --server-batch        servers sort concurrently queued extents into one
+                        elevator sweep per disk pass
   --buffered            disable Fast Path (reads via server caches)
   --readahead <n>       server-side readahead blocks        (default 0)
   --separate-files      each node reads a private file
@@ -165,6 +171,13 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.machine.raid = hw::RaidParams::scsi16();
     } else if (a == "--elevator") {
       opt.machine.raid.disk.scheduler = hw::DiskSched::kElevator;
+    } else if (a == "--mesh-mtu") {
+      opt.machine.mesh_mtu = parse_size(need_value(i, a));
+      ++i;
+    } else if (a == "--coalesce") {
+      opt.machine.pfs.coalesce_rpcs = true;
+    } else if (a == "--server-batch") {
+      opt.machine.pfs.server_batch = true;
     } else if (a == "--buffered") {
       opt.workload.use_fastpath = false;
     } else if (a == "--readahead") {

@@ -75,4 +75,13 @@ std::string fmt_time(sim::SimTime t) { return fmt_double(t, 3) + "s"; }
 
 std::string fmt_percent(double fraction) { return fmt_double(fraction * 100.0, 1) + "%"; }
 
+std::string fmt_link_busy(const std::vector<std::pair<int, sim::SimTime>>& top) {
+  if (top.empty()) return "none";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    out << (i ? ", " : "") << "link " << top[i].first << " " << fmt_time(top[i].second);
+  }
+  return out.str();
+}
+
 }  // namespace ppfs::workload

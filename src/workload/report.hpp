@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -34,5 +35,9 @@ std::string fmt_double(double v, int precision = 2);
 std::string fmt_time(sim::SimTime t);
 /// Percentage, e.g. "87.5%".
 std::string fmt_percent(double fraction);
+
+/// Busiest mesh links as "link 12 0.412s, link 3 0.380s" (busiest first,
+/// as returned by MeshNetwork::top_busy_links); "none" when empty.
+std::string fmt_link_busy(const std::vector<std::pair<int, sim::SimTime>>& top);
 
 }  // namespace ppfs::workload

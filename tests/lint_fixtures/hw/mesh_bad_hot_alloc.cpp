@@ -1,0 +1,24 @@
+// Deliberately-bad fixture for the mesh-hot-path-alloc rule: a heap
+// container declared inside a mesh coroutine body. Never compiled; linted
+// by the ppfs_lint_fixture CTest to prove the rule fires.
+#include <vector>
+
+namespace ppfs::hw {
+
+struct FakeSim {
+  auto delay(double) { return 0; }
+};
+
+template <typename T>
+struct Task {
+  T value;
+};
+
+Task<void> mesh_send_hot(FakeSim& sim) {
+  // BAD: one malloc per simulated message on the hottest path in the tree.
+  std::vector<int> path_hops;
+  path_hops.push_back(1);
+  co_await sim.delay(0.001);
+}
+
+}  // namespace ppfs::hw

@@ -214,7 +214,8 @@ TEST_P(SimCheckInjection, EveryViolationClassIsCaught) {
   const std::uint64_t seed = GetParam();
   const Violation kinds[] = {Violation::kCausality, Violation::kDoubleResume,
                              Violation::kResumeAfterDestroy, Violation::kResourceAccounting,
-                             Violation::kBufferConservation};
+                             Violation::kBufferConservation,
+                             Violation::kCoalesceConservation};
   for (Violation kind : kinds) {
     Simulation sim;
     auto* a = sim.auditor();

@@ -38,13 +38,23 @@ mechanically (it runs as a CTest, see tools/CMakeLists.txt):
                        instead. Higher layers (pfs/, ufs/) may still use
                        std::function where calls are rare.
 
+  mesh-hot-path-alloc  A heap container (std::vector/deque/map/string/...)
+                       declared inside a coroutine body in a mesh source
+                       (hw/mesh.*). MeshNetwork::send runs once per
+                       simulated message — the single hottest coroutine in
+                       the tree — and was made allocation-free with the
+                       precomputed path table and sim::InlineVec; a heap
+                       container reintroduces a malloc per message. Cold
+                       mesh paths (setup, route() debugging, reporting)
+                       are plain functions and stay exempt.
+
 Usage:
     ppfs_lint.py [--expect-violations N] <dir-or-file>...
 
 Exit status 0 when clean; 1 when violations are found. With
 --expect-violations N the meaning inverts: exit 0 only when at least N
-violations are found AND all four rule classes fire (used to prove the
-lint itself detects the deliberately-bad fixture in tests/lint_fixtures).
+violations are found AND all five rule classes fire (used to prove the
+lint itself detects the deliberately-bad fixtures in tests/lint_fixtures).
 """
 
 from __future__ import annotations
@@ -179,6 +189,62 @@ def check_hot_path_std_function(path: Path, clean: str, findings: list) -> None:
              "allocation- and trampoline-free"))
 
 
+TASK_DEF_RE = re.compile(r"\bTask<[^;{=]*>\s+[\w:]+\s*\(")
+HEAP_CONTAINER_RE = re.compile(
+    r"\bstd\s*::\s*(vector|deque|map|unordered_map|unordered_set|set|list|string)\b"
+)
+
+
+def coroutine_bodies(clean: str):
+    """Yield (body_start_offset, body_text) for every Task-returning
+    function *definition* (declarations have no brace to find)."""
+    for m in TASK_DEF_RE.finditer(clean):
+        # Skip the parameter list, then optional qualifiers, expect '{'.
+        depth, j = 0, clean.find("(", m.end() - 1)
+        while j < len(clean):
+            if clean[j] == "(":
+                depth += 1
+            elif clean[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        k = j + 1
+        while k < len(clean) and (clean[k].isspace() or
+                                  clean[k : k + 5] == "const" or
+                                  clean[k : k + 8] == "noexcept"):
+            k += 5 if clean[k : k + 5] == "const" else (
+                 8 if clean[k : k + 8] == "noexcept" else 1)
+        if k >= len(clean) or clean[k] != "{":
+            continue
+        depth, end = 0, k
+        while end < len(clean):
+            if clean[end] == "{":
+                depth += 1
+            elif clean[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        yield k, clean[k:end]
+
+
+def check_mesh_hot_path_alloc(path: Path, clean: str, findings: list) -> None:
+    """The mesh send path runs once per simulated message; its coroutines
+    must stay allocation-free (path table + sim::InlineVec)."""
+    if "hw" not in path.parts or not path.stem.startswith("mesh"):
+        return
+    for body_start, body in coroutine_bodies(clean):
+        if "co_await" not in body:
+            continue
+        for m in HEAP_CONTAINER_RE.finditer(body):
+            findings.append(
+                (path, line_of(clean, body_start + m.start()), "mesh-hot-path-alloc",
+                 f"std::{m.group(1)} in a mesh coroutine body; the per-message "
+                 f"send path is allocation-free by design — use the precomputed "
+                 f"path table / sim::InlineVec instead of heap containers"))
+
+
 def check_co_await_temporaries(path: Path, clean: str, findings: list) -> None:
     for m in CO_AWAIT_TEMP_RE.finditer(clean):
         findings.append(
@@ -226,14 +292,15 @@ def main(argv: list[str]) -> int:
         check_spawn_captures(path, clean, findings)
         check_co_await_temporaries(path, clean, findings)
         check_hot_path_std_function(path, clean, findings)
+        check_mesh_hot_path_alloc(path, clean, findings)
 
     for path, line, rule, msg in findings:
         print(f"{path}:{line}: [{rule}] {msg}")
 
     if args.expect_violations is not None:
         rules_hit = {rule for _, _, rule, _ in findings}
-        ok = len(findings) >= args.expect_violations and len(rules_hit) == 4
-        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/4 rule classes "
+        ok = len(findings) >= args.expect_violations and len(rules_hit) == 5
+        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/5 rule classes "
               f"fired — {'OK (expected)' if ok else 'FAIL (expected violations missing)'}")
         return 0 if ok else 1
 

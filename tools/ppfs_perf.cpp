@@ -16,7 +16,17 @@
 //    run; the speedup itself is recorded, not gated — a one-core CI box
 //    timeslices the workers and cannot show it.
 //
-//   $ ppfs_perf --jobs 4 --min-events-per-sec 250000 --out-dir .
+//  * datapath — runs the bench_datapath gate scenario (M_RECORD,
+//    full-stripe 512K records, SCSI-16 I/O nodes, Table-4 layouts) with
+//    the data-path stages off and on, writes the simulated-bandwidth and
+//    events/sec trajectory to BENCH_datapath.json, and enforces two
+//    things: --min-datapath-speedup gates all-stages-on vs legacy on the
+//    8x8 (sgroup=8) row, and a defaults-vs-legacy run asserts that a
+//    default-constructed machine produces a digest bit-identical to one
+//    with every stage explicitly disabled (the stages must stay opt-in).
+//
+//   $ ppfs_perf --jobs 4 --min-events-per-sec 250000
+//               --min-datapath-speedup 1.5 --out-dir .
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -104,6 +114,7 @@ KernelRow measure_delay_hops(int hops, int reps) {
 struct Args {
   int jobs = exp::SweepRunner::default_jobs();
   double min_events_per_sec = 0;
+  double min_datapath_speedup = 0;
   bool quick = false;
   std::string out_dir = ".";
 };
@@ -116,6 +127,8 @@ Args parse(int argc, char** argv) {
       a.jobs = std::max(1, std::atoi(argv[++i]));
     } else if (s == "--min-events-per-sec" && i + 1 < argc) {
       a.min_events_per_sec = std::atof(argv[++i]);
+    } else if (s == "--min-datapath-speedup" && i + 1 < argc) {
+      a.min_datapath_speedup = std::atof(argv[++i]);
     } else if (s == "--quick") {
       a.quick = true;
     } else if (s == "--out-dir" && i + 1 < argc) {
@@ -123,7 +136,7 @@ Args parse(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ppfs_perf [--jobs <n>] [--min-events-per-sec <x>]"
-                   " [--quick] [--out-dir <dir>]\n");
+                   " [--min-datapath-speedup <x>] [--quick] [--out-dir <dir>]\n");
       std::exit(2);
     }
   }
@@ -228,6 +241,124 @@ int main(int argc, char** argv) {
       .field("digests_identical", digests_identical)
       .raw("rows", sweep_rows.str());
   write_json_file(args.out_dir + "/BENCH_sweep.json", sweep_doc.str());
+
+  // ---- datapath section ---------------------------------------------------
+  // The bench_datapath gate scenario: M_RECORD with full-stripe 512K
+  // records on SCSI-16 I/O nodes, Table-4 narrow (sgroup=1) and 8x8
+  // (sgroup=8) layouts, stages off -> partially on -> all on.
+  struct DatapathStage {
+    const char* name;
+    sim::ByteCount mtu = 0;
+    bool coalesce = false;
+    bool batch = false;
+  };
+  const DatapathStage dp_stages[] = {
+      {"legacy"},
+      {"coalesce", 0, true},
+      {"batch", 0, false, true},
+      {"all", 16 * 1024, true, true},
+  };
+  const int dp_rounds = args.quick ? 2 : 4;
+  const int n = machine.ncompute;
+
+  pfs::StripeAttrs narrow;
+  narrow.stripe_unit = 64 * 1024;
+  narrow.stripe_group.assign(8, 0);
+  pfs::StripeAttrs wide;
+  wide.stripe_unit = 64 * 1024;
+  wide.stripe_group = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  std::vector<exp::SweepJob> dp_jobs;
+  for (const auto* layout : {&narrow, &wide}) {
+    workload::WorkloadSpec w;
+    w.mode = pfs::IoMode::kRecord;
+    w.request_size = 512 * 1024;
+    w.file_size = file_size_for(w.request_size, n, dp_rounds);
+    w.prefetch = true;
+    w.attrs = *layout;
+    for (const DatapathStage& st : dp_stages) {
+      workload::MachineSpec m;
+      m.raid = hw::RaidParams::scsi16();
+      m.mesh_mtu = st.mtu;
+      m.pfs.coalesce_rpcs = st.coalesce;
+      m.pfs.server_batch = st.batch;
+      dp_jobs.push_back({std::string(layout == &narrow ? "sgroup=1 " : "sgroup=8 ") + st.name,
+                         m, w});
+    }
+  }
+  const auto dp = exp::run_sweep(dp_jobs, args.jobs);
+  bool dp_ok = dp.all_ok();
+  double dp_speedup = 0;
+  JsonArray dp_rows;
+  if (dp_ok) {
+    constexpr std::size_t kStages = sizeof dp_stages / sizeof dp_stages[0];
+    for (std::size_t l = 0; l < 2; ++l) {
+      const double legacy_bw = dp.outcomes[l * kStages].result.observed_read_bw_mbs;
+      for (std::size_t s = 0; s < kStages; ++s) {
+        const auto& o = dp.outcomes[l * kStages + s];
+        const double ev_per_sec =
+            o.seconds > 0 ? static_cast<double>(o.result.events_dispatched) / o.seconds : 0;
+        const double ratio = o.result.observed_read_bw_mbs / legacy_bw;
+        if (l == 1 && s == kStages - 1) dp_speedup = ratio;
+        std::printf("datapath %-18s %7.2f MB/s (%.2fx legacy)  %9.0f events/s\n",
+                    o.label.c_str(), o.result.observed_read_bw_mbs, ratio, ev_per_sec);
+        JsonObject row = outcome_json(o);
+        row.field("stage", dp_stages[s].name)
+            .field("mesh_mtu", static_cast<std::uint64_t>(dp_stages[s].mtu))
+            .field("coalesce", dp_stages[s].coalesce)
+            .field("server_batch", dp_stages[s].batch)
+            .field("events_per_sec", ev_per_sec)
+            .field("speedup_vs_legacy", ratio);
+        dp_rows.add(row);
+      }
+    }
+    if (args.min_datapath_speedup > 0 && dp_speedup < args.min_datapath_speedup) {
+      std::fprintf(stderr, "ppfs_perf: datapath all-stages speedup below floor (%.2fx < %.2fx)\n",
+                   dp_speedup, args.min_datapath_speedup);
+      dp_ok = false;
+    }
+  }
+
+  // Defaults must stay legacy: a default-constructed machine and one with
+  // every data-path stage explicitly disabled have to dispatch the exact
+  // same event stream.
+  workload::MachineSpec legacy_machine;
+  legacy_machine.mesh_mtu = 0;
+  legacy_machine.pfs.coalesce_rpcs = false;
+  legacy_machine.pfs.server_batch = false;
+  workload::WorkloadSpec dflt;
+  dflt.mode = pfs::IoMode::kRecord;
+  dflt.request_size = 512 * 1024;
+  dflt.file_size = file_size_for(dflt.request_size, n, 2);
+  dflt.prefetch = true;
+  const auto dig = exp::run_sweep({{"defaults", workload::MachineSpec{}, dflt},
+                                   {"legacy-off", legacy_machine, dflt}},
+                                  args.jobs);
+  bool defaults_legacy = dig.all_ok() &&
+                         dig.outcomes[0].result.digest == dig.outcomes[1].result.digest &&
+                         dig.outcomes[0].result.events_dispatched ==
+                             dig.outcomes[1].result.events_dispatched;
+  if (!defaults_legacy) {
+    std::fprintf(stderr,
+                 "ppfs_perf: default machine diverged from explicit legacy stages "
+                 "(a data-path stage is no longer opt-in)\n");
+  }
+  std::printf("datapath all-on speedup %.2fx (floor %.2fx), defaults-vs-legacy digest %s\n",
+              dp_speedup, args.min_datapath_speedup,
+              defaults_legacy ? "identical" : "DIVERGED");
+  if (!dp_ok || !defaults_legacy) ok = false;
+
+  JsonObject dp_doc;
+  dp_doc.field("bench", "datapath")
+      .field("build", build_flavor())
+      .field("quick", args.quick)
+      .field("rounds", static_cast<std::uint64_t>(dp_rounds))
+      .field("table4_all_on_speedup", dp_speedup)
+      .field("min_datapath_speedup", args.min_datapath_speedup)
+      .field("defaults_match_legacy", defaults_legacy)
+      .field("gate_pass", dp_ok && defaults_legacy)
+      .raw("rows", dp_rows.str());
+  write_json_file(args.out_dir + "/BENCH_datapath_gate.json", dp_doc.str());
 
   std::printf("ppfs_perf: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

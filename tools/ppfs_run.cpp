@@ -46,6 +46,27 @@ void print_result(const char* label, const ExperimentResult& r) {
                   (unsigned long long)p.fault_skips);
     }
   }
+  std::printf("  rpcs: data=%llu metadata=%llu pointer=%llu", (unsigned long long)r.data_rpcs,
+              (unsigned long long)r.metadata_rpcs, (unsigned long long)r.pointer_rpcs);
+  if (r.coalesced_rpcs > 0) {
+    std::printf(" coalesced=%llu (%.1f extents/rpc, %llu map refreshes)",
+                (unsigned long long)r.coalesced_rpcs,
+                (double)r.coalesced_extents / (double)r.coalesced_rpcs,
+                (unsigned long long)r.stripe_map_refreshes);
+  }
+  std::printf("\n");
+  if (r.mesh_segmented_messages > 0) {
+    std::printf("  mesh: %llu segmented messages, %llu segments\n",
+                (unsigned long long)r.mesh_segmented_messages,
+                (unsigned long long)r.mesh_segments);
+  }
+  if (r.server_batch_sweeps > 0) {
+    std::printf("  server batches: %llu sweeps, %llu extents (%.1f extents/sweep)\n",
+                (unsigned long long)r.server_batch_sweeps,
+                (unsigned long long)r.server_batched_extents,
+                (double)r.server_batched_extents / (double)r.server_batch_sweeps);
+  }
+  std::printf("  hot links: %s\n", fmt_link_busy(r.top_links).c_str());
   if (!r.spec.faults.empty() || r.faults.any()) {
     const auto& f = r.faults;
     std::printf("  faults: injected=%llu transients=%llu reconstructed=%llu "
@@ -157,6 +178,13 @@ int main(int argc, char** argv) {
                 fmt_bytes(opt.workload.file_size).c_str(), opt.workload.compute_delay,
                 opt.workload.separate_files ? ", separate files" : "",
                 opt.workload.use_fastpath ? "" : ", buffered");
+    if (opt.machine.mesh_mtu > 0 || opt.machine.pfs.coalesce_rpcs ||
+        opt.machine.pfs.server_batch) {
+      std::printf("datapath: mesh mtu %s, coalescing %s, server batching %s\n\n",
+                  opt.machine.mesh_mtu > 0 ? fmt_bytes(opt.machine.mesh_mtu).c_str() : "off",
+                  opt.machine.pfs.coalesce_rpcs ? "on" : "off",
+                  opt.machine.pfs.server_batch ? "on" : "off");
+    }
     if (!opt.workload.faults.empty()) {
       std::printf("faults:   %s\n\n", opt.workload.faults.summary().c_str());
     }
