@@ -68,7 +68,10 @@ inline std::string json_number(double v) {
 class JsonObject {
  public:
   JsonObject& field(std::string_view k, const std::string& v) {
-    return raw(k, "\"" + json_escape(v) + "\"");
+    std::string quoted = "\"";
+    quoted += json_escape(v);
+    quoted += '"';
+    return raw(k, quoted);
   }
   JsonObject& field(std::string_view k, const char* v) {
     return field(k, std::string(v));
@@ -82,7 +85,10 @@ class JsonObject {
   /// Pre-rendered JSON (a nested object or array).
   JsonObject& raw(std::string_view k, const std::string& json) {
     if (!body_.empty()) body_ += ",";
-    body_ += "\"" + json_escape(k) + "\":" + json;
+    body_ += '"';
+    body_ += json_escape(k);
+    body_ += "\":";
+    body_ += json;
     return *this;
   }
   std::string str() const { return "{" + body_ + "}"; }

@@ -33,8 +33,12 @@ int main() {
       auto reqs = layout.map(off, req);
       std::string hits, bytes;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
-        hits += (i ? "," : "") + std::to_string(reqs[i].io_index);
-        bytes += (i ? "," : "") + fmt_bytes(reqs[i].length);
+        if (i) {
+          hits += ',';
+          bytes += ',';
+        }
+        hits += std::to_string(reqs[i].io_index);
+        bytes += fmt_bytes(reqs[i].length);
         load[reqs[i].io_index] += reqs[i].length;
       }
       table.add_row({"cn" + std::to_string(c), fmt_bytes(off), hits, bytes});

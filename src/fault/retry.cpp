@@ -11,7 +11,10 @@ sim::SimTime backoff_delay(const RetryPolicy& p, std::uint32_t attempt, sim::Rng
   }
   step = std::min(step, static_cast<double>(p.max_backoff_s));
   const double spread = p.jitter > 0 ? rng.uniform(-p.jitter, p.jitter) : 0.0;
-  return std::max(step * (1.0 + spread), 0.0);
+  // Clamp AFTER applying jitter: once step has saturated at max_backoff_s, a
+  // positive jitter draw would otherwise push the delay up to
+  // (1 + jitter) * max_backoff_s, and jitter >= 1 could go negative.
+  return std::clamp(step * (1.0 + spread), 0.0, static_cast<double>(p.max_backoff_s));
 }
 
 }  // namespace ppfs::fault

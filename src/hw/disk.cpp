@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "fault/error.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace ppfs::hw {
 
@@ -129,11 +131,24 @@ double Disk::slowdown_factor_now() const {
   return f;
 }
 
+std::int32_t Disk::trace_resource(trace::TraceSink& sink) {
+  if (trace_res_ < 0) {
+    trace_res_ = sink.register_resource(trace::TraceTrack::kDisk, name_.c_str());
+  }
+  return trace_res_;
+}
+
 sim::Task<void> Disk::service(std::uint64_t lba, ByteCount bytes, bool write,
                               std::uint64_t sectors) {
   if (consume_transient_error()) {
     // The drive accepted the command, spent its command processing time,
     // then returned a medium error; head state is unchanged.
+    if (trace::TraceSink* sink = sim_.trace()) {
+      sink->record(trace::TraceRecord(sim_.now(), trace::TraceKind::kInstant,
+                                      trace::TraceTrack::kDisk, trace::code::kDiskTransient,
+                                      trace_resource(*sink), 0, bytes, lba,
+                                      trace::kFlagFault));
+    }
     co_await sim_.delay(params_.controller_overhead_s);
     throw fault::FaultError(fault::ErrorCause::kDiskTransient,
                             name_ + ": injected transient error");
@@ -162,7 +177,26 @@ sim::Task<void> Disk::service(std::uint64_t lba, ByteCount bytes, bool write,
     tracer_->log(sim::TraceCat::kDisk, sim_.now(), name_, msg.str());
   }
 
+  // The channel admits one request at a time, so per-disk service spans
+  // never overlap: plain B/E pairs on the disk's timeline row.
+  std::uint8_t span_flags = 0;
+  if (sequential && !write) span_flags |= trace::kFlagSequential;
+  if (write) span_flags |= trace::kFlagWrite;
+  if (trace::TraceSink* sink = sim_.trace()) {
+    sink->record(trace::TraceRecord(sim_.now(), trace::TraceKind::kSpanBegin,
+                                    trace::TraceTrack::kDisk,
+                                    write ? trace::code::kDiskWrite : trace::code::kDiskRead,
+                                    trace_resource(*sink), 0, bytes, lba, span_flags));
+  }
+
   co_await sim_.delay(t);
+
+  if (trace::TraceSink* sink = sim_.trace()) {
+    sink->record(trace::TraceRecord(sim_.now(), trace::TraceKind::kSpanEnd,
+                                    trace::TraceTrack::kDisk,
+                                    write ? trace::code::kDiskWrite : trace::code::kDiskRead,
+                                    trace_resource(*sink), 0, bytes, lba, span_flags));
+  }
 
   head_cylinder_ = lba_to_cylinder(lba + sectors - 1);
   next_sequential_lba_ = lba + sectors;

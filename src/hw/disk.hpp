@@ -152,6 +152,11 @@ class Disk {
   std::vector<TransientWindow> transient_windows_;
   std::uint64_t transient_errors_fired_ = 0;
 
+  /// TraceScope resource id for this disk, registered lazily on the first
+  /// traced service (so untraced runs never touch the registry).
+  std::int32_t trace_resource(trace::TraceSink& sink);
+  std::int32_t trace_res_ = -1;
+
   std::uint64_t head_cylinder_ = 0;
   std::uint64_t next_sequential_lba_ = ~0ull;  // track-cache continuation point
 

@@ -6,8 +6,29 @@
 #include <stdexcept>
 
 #include "sim/inline_vec.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace ppfs::hw {
+
+namespace {
+
+// Wire-occupancy span edges for every link of a held route. The links are
+// held exclusively (capacity-1 resources), so per-link begin/end pairs can
+// never overlap and export as plain B/E timeline slices.
+void trace_wire_edges(sim::Simulation& sim, std::span<const int> links, trace::TraceKind kind,
+                     ByteCount bytes, NodeId dst) {
+  trace::TraceSink* sink = sim.trace();
+  if (sink == nullptr) return;
+  for (int id : links) {
+    sink->record(trace::TraceRecord(sim.now(), kind, trace::TraceTrack::kMeshLink,
+                                    trace::code::kWire, id, 0,
+                                    static_cast<std::uint64_t>(bytes),
+                                    static_cast<std::uint64_t>(dst)));
+  }
+}
+
+}  // namespace
 
 MeshNetwork::MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer)
     : sim_(s), cfg_(cfg), tracer_(tracer) {
@@ -162,7 +183,9 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
       tracer_->log(sim::TraceCat::kNet, sim_.now(), "mesh", msg.str());
     }
 
+    trace_wire_edges(sim_, ordered, trace::TraceKind::kSpanBegin, bytes, dst);
     co_await sim_.delay(transfer);
+    trace_wire_edges(sim_, ordered, trace::TraceKind::kSpanEnd, bytes, dst);
     for (int id : ordered) link_busy_[id] += transfer;
 
     ++messages_;
@@ -210,7 +233,9 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
       }
     }
 
+    trace_wire_edges(sim_, ordered, trace::TraceKind::kSpanBegin, seg, dst);
     co_await sim_.delay(transfer);
+    trace_wire_edges(sim_, ordered, trace::TraceKind::kSpanEnd, seg, dst);
     for (int id : ordered) link_busy_[id] += transfer;
     ++segments_sent_;
 
@@ -222,7 +247,18 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
           break;
         }
       }
-      if (contended) held.clear();  // release in insertion order, re-acquire
+      if (contended) {
+        if (trace::TraceSink* sink = sim_.trace()) {
+          // One queuing instant per yielded link: a contended route dropped
+          // between segments so another message can interleave.
+          for (int id : ordered) {
+            sink->record(trace::TraceRecord(sim_.now(), trace::TraceKind::kInstant,
+                                            trace::TraceTrack::kMeshLink,
+                                            trace::code::kSegmentYield, id, 0, s + 1, nseg));
+          }
+        }
+        held.clear();  // release in insertion order, re-acquire
+      }
     }
   }
 

@@ -9,6 +9,7 @@
 #include "sim/channel.hpp"
 #include "sim/check/audit.hpp"
 #include "sim/when_all.hpp"
+#include "trace/span.hpp"
 
 namespace ppfs::pfs {
 
@@ -49,8 +50,15 @@ const PfsClient::OpenFile& PfsClient::fstate(int fd) const {
 sim::Task<void> PfsClient::metadata_rpc() {
   ++rpc_stats_.metadata_rpcs;
   const auto ctrl = fs_.params().control_message_bytes;
+  // Issue->reply envelope; async because a rank can have several RPC
+  // classes in flight at once. One span per counter increment, so the
+  // trace's per-class span counts always equal the RpcStats counters.
+  trace::SpanGuard span(machine_.simulation(), trace::TraceTrack::kRpc,
+                        trace::code::kRpcMetadata, rank_, /*async=*/true, ctrl,
+                        static_cast<std::uint64_t>(fs_.metadata_node()));
   co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(), ctrl);
   co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_, ctrl);
+  span.end(ctrl);
 }
 
 sim::Task<void> PfsClient::ensure_stripe_map(const PfsFileMeta& meta) {
@@ -142,6 +150,12 @@ sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
   const sim::SimTime deadline =
       machine_.simulation().now() + fs_.params().retry.total_budget_s;
   ++rpc_stats_.data_rpcs;
+  // The span covers the whole reliability envelope (all attempts). If the
+  // retry budget runs out, rpc_recover throws and the guard's destructor
+  // closes the span with kFlagFault as the frame unwinds.
+  trace::SpanGuard rpc_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                            trace::code::kRpcData, rank_, /*async=*/true, req.length,
+                            static_cast<std::uint64_t>(req.io_index));
 
   for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
     PfsServer& srv = fs_.server(req.io_index);
@@ -186,6 +200,7 @@ sim::Task<void> PfsClient::fetch_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
       rpc_stats_.retried_ok += failures;
       if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
     }
+    rpc_span.end(got, static_cast<std::uint64_t>(req.io_index));
 
     // Scatter the contiguous stripe-file bytes into their file-space slots
     // in the user buffer ("Fast Path reads data directly from the disks to
@@ -211,6 +226,11 @@ sim::Task<void> PfsClient::fetch_coalesced(PfsFileMeta& meta, CoalescedRequest r
   ++rpc_stats_.data_rpcs;
   ++rpc_stats_.coalesced_rpcs;
   rpc_stats_.coalesced_extents += req.extents.size();
+  // Tagged kRpcCoalesced (not kRpcData), so data spans + coalesced spans
+  // partition data_rpcs exactly the way the report's counters do.
+  trace::SpanGuard rpc_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                            trace::code::kRpcCoalesced, rank_, /*async=*/true, req.length,
+                            static_cast<std::uint64_t>(req.io_index));
 
   for (std::uint32_t attempt = 0, failures = 0;; ++attempt) {
     PfsServer& srv = fs_.server(req.io_index);
@@ -258,6 +278,7 @@ sim::Task<void> PfsClient::fetch_coalesced(PfsFileMeta& meta, CoalescedRequest r
       rpc_stats_.retried_ok += failures;
       if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
     }
+    rpc_span.end(got, req.extents.size());
 
     // Scatter each extent's bytes into their file-space slots. The auditor
     // cross-checks that the bytes the servers reported moved are exactly
@@ -294,6 +315,9 @@ sim::Task<void> PfsClient::store_coalesced(PfsFileMeta& meta, CoalescedRequest r
   ++rpc_stats_.data_rpcs;
   ++rpc_stats_.coalesced_rpcs;
   rpc_stats_.coalesced_extents += req.extents.size();
+  trace::SpanGuard rpc_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                            trace::code::kRpcCoalesced, rank_, /*async=*/true, req.length,
+                            static_cast<std::uint64_t>(req.io_index), trace::kFlagWrite);
 
   // Gather every extent's file-space pieces into one contiguous wire image;
   // the auditor confirms the image holds exactly the union of the merged
@@ -359,6 +383,7 @@ sim::Task<void> PfsClient::store_coalesced(PfsFileMeta& meta, CoalescedRequest r
       rpc_stats_.retried_ok += failures;
       if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
     }
+    rpc_span.end(req.length, req.extents.size());
     co_return;
   }
 }
@@ -375,6 +400,8 @@ sim::Task<void> PfsClient::rpc_recover(int io_index, fault::ErrorCause cause,
     // Budget exhausted: surface a typed error instead of hanging. The
     // terminal resolution covers every failed attempt of this request.
     ++rpc_stats_.terminal_errors;
+    trace::instant(sim, trace::TraceTrack::kRpc, trace::code::kRpcGiveUp, rank_, failures,
+                   static_cast<std::uint64_t>(io_index), trace::kFlagFault);
     if (auto* a = sim.auditor()) a->on_fault_terminal(failures);
     throw fault::FaultError(cause, "io" + std::to_string(io_index) + " RPC failed after " +
                                        std::to_string(failures) + " attempt(s): " +
@@ -393,6 +420,8 @@ sim::Task<void> PfsClient::rpc_recover(int io_index, fault::ErrorCause cause,
       ++rpc_stats_.timeouts;
       ++rpc_stats_.cause_counts[static_cast<std::size_t>(fault::ErrorCause::kRpcTimeout)];
       ++rpc_stats_.terminal_errors;
+      trace::instant(sim, trace::TraceTrack::kRpc, trace::code::kRpcGiveUp, rank_, failures,
+                     static_cast<std::uint64_t>(io_index), trace::kFlagFault);
       if (auto* a = sim.auditor()) a->on_fault_terminal(failures);
       throw fault::FaultError(fault::ErrorCause::kRpcTimeout,
                               "io" + std::to_string(io_index) +
@@ -403,6 +432,8 @@ sim::Task<void> PfsClient::rpc_recover(int io_index, fault::ErrorCause cause,
   const sim::SimTime backoff = fault::backoff_delay(rp, attempt, rpc_rng_);
   rpc_stats_.backoff_time += backoff;
   ++rpc_stats_.retries;
+  trace::instant(sim, trace::TraceTrack::kRpc, trace::code::kRpcRetry, rank_, attempt + 1,
+                 static_cast<std::uint64_t>(io_index));
   co_await sim.delay(backoff);
 }
 
@@ -454,12 +485,15 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
     case IoMode::kUnix: {
       // Atomicity: take the per-file token for the whole transfer.
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
       off = f.pointer;
+      ptr_span.end(len);
       break;
     }
     case IoMode::kAsync:
@@ -472,23 +506,29 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
       // M_LOG is an atomic mode: the claim AND the transfer are serialized
       // first-come-first-served, like a log append.
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
       off = co_await fs_.pointers().fetch_and_add(f.file, len);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
+      ptr_span.end(len);
       break;
     }
     case IoMode::kSync:
     case IoMode::kGlobal: {
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,
                                               f.mode == IoMode::kGlobal);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
+      ptr_span.end(len);
       break;
     }
   }
@@ -547,6 +587,9 @@ sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
   const sim::SimTime deadline =
       machine_.simulation().now() + fs_.params().retry.total_budget_s;
   ++rpc_stats_.data_rpcs;
+  trace::SpanGuard rpc_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                            trace::code::kRpcData, rank_, /*async=*/true, req.length,
+                            static_cast<std::uint64_t>(req.io_index), trace::kFlagWrite);
 
   // Gather file-space pieces into the contiguous stripe-file image.
   std::vector<std::byte> staging(req.length);
@@ -589,6 +632,7 @@ sim::Task<void> PfsClient::store_extent(PfsFileMeta& meta, IoNodeRequest req, Fi
       rpc_stats_.retried_ok += failures;
       if (auto* a = machine_.simulation().auditor()) a->on_fault_retried_ok(failures);
     }
+    rpc_span.end(req.length, static_cast<std::uint64_t>(req.io_index));
     co_return;
   }
 }
@@ -632,12 +676,16 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
   switch (f.mode) {
     case IoMode::kUnix: {
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len,
+                                0, trace::kFlagWrite);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
       off = f.pointer;
+      ptr_span.end(len);
       break;
     }
     case IoMode::kAsync:
@@ -648,23 +696,30 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
       break;
     case IoMode::kLog: {
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len,
+                                0, trace::kFlagWrite);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       unix_lock = co_await fs_.pointers().acquire_file_lock(f.file);
       off = co_await fs_.pointers().fetch_and_add(f.file, len);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
+      ptr_span.end(len);
       break;
     }
     case IoMode::kSync:
     case IoMode::kGlobal: {
       ++rpc_stats_.pointer_rpcs;
+      trace::SpanGuard ptr_span(machine_.simulation(), trace::TraceTrack::kRpc,
+                                trace::code::kRpcPointer, rank_, /*async=*/true, len);
       co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(),
                                     fs_.params().control_message_bytes);
       off = co_await fs_.collectives().arrive(f.file, rank_, nprocs_, len,
                                               f.mode == IoMode::kGlobal);
       co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_,
                                     fs_.params().control_message_bytes);
+      ptr_span.end(len);
       break;
     }
   }

@@ -4,6 +4,8 @@
 
 #include "hw/disk_sched.hpp"
 #include "sim/when_all.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace ppfs::pfs {
 
@@ -51,8 +53,18 @@ void PfsServer::enqueue(QueuedIo& item) {
 }
 
 sim::Task<void> PfsServer::sweep_and_signal(std::vector<sim::Task<void>> parts,
-                                            sim::Event& done) {
+                                            sim::Event& done, std::uint64_t trace_span) {
+  const std::size_t n = parts.size();
   co_await sim::when_all(machine_.simulation(), std::move(parts));
+  // Close the sweep span opened at spawn time. Up to two sweeps are
+  // pipelined per server, so the pair is correlated by id (async export).
+  if (trace_span != 0) {
+    if (trace::TraceSink* sink = machine_.simulation().trace()) {
+      sink->record(trace::TraceRecord(machine_.simulation().now(),
+                                      trace::TraceKind::kSpanEnd, trace::TraceTrack::kServer,
+                                      trace::code::kBatchSweep, io_index_, trace_span, n));
+    }
+  }
   done.set();
 }
 
@@ -112,8 +124,16 @@ sim::Task<void> PfsServer::batch_dispatch() {
     }
     flush_group();
     sweep_head_ = keys[order.back()];
+    std::uint64_t sweep_span = 0;
+    if (trace::TraceSink* sink = machine_.simulation().trace()) {
+      sweep_span = sink->new_span();
+      sink->record(trace::TraceRecord(machine_.simulation().now(),
+                                      trace::TraceKind::kSpanBegin, trace::TraceTrack::kServer,
+                                      trace::code::kBatchSweep, io_index_, sweep_span,
+                                      batch.size()));
+    }
     auto done = std::make_unique<sim::Event>(machine_.simulation());
-    machine_.simulation().spawn(sweep_and_signal(std::move(parts), *done));
+    machine_.simulation().spawn(sweep_and_signal(std::move(parts), *done, sweep_span));
     if (prev) co_await prev->wait();
     prev = std::move(done);
   }

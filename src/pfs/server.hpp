@@ -149,7 +149,8 @@ class PfsServer {
   sim::Task<void> batch_dispatch();
   /// Run one sweep's tasks to completion, then fire `done` (the
   /// dispatcher's pipelining handle).
-  sim::Task<void> sweep_and_signal(std::vector<sim::Task<void>> parts, sim::Event& done);
+  sim::Task<void> sweep_and_signal(std::vector<sim::Task<void>> parts, sim::Event& done,
+                                   std::uint64_t trace_span);
   /// One sweep item: UFS access with FaultError captured into the item.
   sim::Task<void> serve_queued(QueuedIo& item);
   /// A run of fastpath-eligible sweep reads served as one sorted UFS

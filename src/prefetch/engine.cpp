@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/check/audit.hpp"
+#include "trace/span.hpp"
 
 namespace ppfs::prefetch {
 
@@ -19,6 +20,22 @@ PrefetchEngine::~PrefetchEngine() {
 
 sim::check::Auditor* PrefetchEngine::auditor() const {
   return client_.machine().simulation().auditor();
+}
+
+void PrefetchEngine::trace_instant(std::uint8_t code, FileOffset off, ByteCount len) const {
+  trace::instant(client_.machine().simulation(), trace::TraceTrack::kPrefetch, code,
+                 client_.rank(), static_cast<std::uint64_t>(off),
+                 static_cast<std::uint64_t>(len));
+}
+
+void PrefetchEngine::occupancy_changed(std::int64_t dbuffers, std::int64_t dbytes) {
+  resident_count_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(resident_count_) +
+                                               dbuffers);
+  resident_bytes_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(resident_bytes_) +
+                                               dbytes);
+  trace::counter(client_.machine().simulation(), trace::TraceTrack::kPrefetch,
+                 trace::code::kPrefetchOccupancy, client_.rank(), resident_count_,
+                 resident_bytes_);
 }
 
 void PrefetchEngine::on_open(int fd) {
@@ -51,6 +68,8 @@ void PrefetchEngine::shed_all() {
     (void)fd;
     for (auto& buf : st.list.drain()) {
       ++stats_.shed;
+      trace_instant(trace::code::kPrefetchShed, buf->offset, buf->length);
+      occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
       if (a) a->on_buffer_discarded(this);
       retire(buf);
     }
@@ -115,6 +134,7 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
     std::uint64_t dropped = 0;
     for (auto& stale : list.overlapping(off, len)) {
       list.remove(stale);
+      occupancy_changed(-1, -static_cast<std::int64_t>(stale->length));
       retire(stale);
       ++stats_.stale_discarded;
       if (auto* a = auditor()) a->on_buffer_discarded(this);
@@ -122,10 +142,12 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
     }
     note_useless(st, dropped);
     ++stats_.misses;
+    trace_instant(trace::code::kPrefetchMiss, off, len);
     co_return std::nullopt;
   }
 
   list.remove(buf);
+  occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
   if (auto* a = auditor()) a->on_buffer_consumed(this);
   // A hit proves the prediction stream is good again.
   st.useless_streak = 0;
@@ -133,15 +155,18 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
   if (buf->in_flight()) {
     // Miss-when-presented but mostly done: wait out the remainder.
     ++stats_.hits_in_flight;
+    trace_instant(trace::code::kPrefetchHitInFlight, off, len);
     const sim::SimTime t0 = client_.machine().simulation().now();
     co_await client_.arts().wait(buf->request);
     stats_.wait_time += client_.machine().simulation().now() - t0;
   } else {
     ++stats_.hits_ready;
+    trace_instant(trace::code::kPrefetchHitReady, off, len);
   }
   if (buf->request->error) {
     // The prefetch itself failed; fall back to the normal read path.
     ++stats_.misses;
+    trace_instant(trace::code::kPrefetchMiss, off, len);
     co_return std::nullopt;
   }
 
@@ -190,6 +215,7 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
       auto victim = list.oldest();
       if (!victim || is_target(victim)) break;
       list.remove(victim);
+      occupancy_changed(-1, -static_cast<std::int64_t>(victim->length));
       retire(victim);
       ++stats_.wasted;
       if (auto* a = auditor()) a->on_buffer_discarded(this);
@@ -213,9 +239,11 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
     // slower data path.
     buf->request = client_.post_prefetch(fd, p, len, buf->data);
     list.add(std::move(buf));
+    occupancy_changed(1, static_cast<std::int64_t>(len));
     if (auto* a = auditor()) a->on_buffer_allocated(this);
     ++stats_.issued;
     stats_.bytes_prefetched += len;
+    trace_instant(trace::code::kPrefetchIssue, p, len);
   }
 }
 
@@ -225,6 +253,7 @@ void PrefetchEngine::on_close(int fd) {
   auto* a = auditor();
   for (auto& buf : it->second.list.drain()) {
     ++stats_.wasted;
+    occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
     if (a) a->on_buffer_freed_at_close(this);
     retire(buf);
   }

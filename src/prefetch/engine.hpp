@@ -128,6 +128,11 @@ class PrefetchEngine final : public pfs::Prefetcher {
   /// when auditing is compiled out).
   sim::check::Auditor* auditor() const;
 
+  /// TraceScope hooks: a point event on this rank's prefetch row, and the
+  /// buffer-occupancy counter sampled after every resident-set change.
+  void trace_instant(std::uint8_t code, FileOffset off, ByteCount len) const;
+  void occupancy_changed(std::int64_t dbuffers, std::int64_t dbytes);
+
   pfs::PfsClient& client_;
   PrefetchConfig cfg_;
   std::unique_ptr<Predictor> predictor_;
@@ -136,6 +141,8 @@ class PrefetchEngine final : public pfs::Prefetcher {
   std::uint64_t last_fault_signal_ = 0;  // client RPC fault counter last seen
   bool fault_paused_ = false;
   std::uint64_t quiet_reads_ = 0;  // fault-free reads since the pause
+  std::uint64_t resident_count_ = 0;  // buffers resident across all fds
+  std::uint64_t resident_bytes_ = 0;  // bytes those buffers hold
 };
 
 /// Convenience: construct an engine and attach it to the client. The

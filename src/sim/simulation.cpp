@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "sim/frame_arena.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
 
 namespace ppfs::sim {
 
@@ -133,6 +135,15 @@ bool Simulation::step() {
   digest_.mix_double(item.t);
   digest_.mix_u64(item.h ? 1 : 2);
   digest_.mix_u64(item.seq);
+  // Trace after the digest mix and before the auditor, so the kernel track
+  // records exactly the dispatch stream the digest hashes: one instant per
+  // dispatched event, even for resumptions the auditor later suppresses.
+  if (trace_ != nullptr) {
+    trace_->record(trace::TraceRecord(
+        now_, trace::TraceKind::kInstant, trace::TraceTrack::kKernel,
+        item.h ? trace::code::kDispatchCoroutine : trace::code::kDispatchCallback, 0, 0,
+        item.seq));
+  }
   if (item.h) {
     if (auto* a = auditor()) {
       if (!a->on_dispatch(now_, item.h.address())) return true;  // destroyed frame: suppress

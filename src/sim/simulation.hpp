@@ -42,6 +42,10 @@
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
+namespace ppfs::trace {
+class TraceSink;
+}
+
 namespace ppfs::sim {
 
 class Simulation {
@@ -126,6 +130,15 @@ class Simulation {
 #endif
   }
 
+  /// The TraceScope sink, or nullptr when tracing is off (the default).
+  /// Like the auditor, a sink only observes: it must never influence
+  /// scheduling, so digests are bit-identical with tracing on or off.
+  trace::TraceSink* trace() const noexcept { return trace_; }
+  /// Attach/detach a sink. The sink is owned by the driver and must outlive
+  /// every dispatch (and the Simulation teardown, which can emit span-end
+  /// records while frames unwind).
+  void set_trace_sink(trace::TraceSink* sink) noexcept { trace_ = sink; }
+
   void report_process_error(std::exception_ptr e);
 
   // Internal: spawned-root bookkeeping. Each spawned process's wrapper
@@ -152,6 +165,7 @@ class Simulation {
   bool draining_ = false;
   check::Fnv1a64 digest_;
   std::uint64_t events_dispatched_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 #if defined(PPFS_SIMCHECK)
   std::unique_ptr<check::Auditor> auditor_;
 #endif

@@ -1,0 +1,226 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "trace/sink.hpp"
+
+namespace ppfs::trace {
+
+namespace {
+
+const char* event_name(TraceTrack track, std::uint8_t event) {
+  switch (track) {
+    case TraceTrack::kKernel:
+      return event == code::kDispatchCoroutine ? "dispatch coroutine" : "dispatch callback";
+    case TraceTrack::kMeshLink:
+      return event == code::kWire ? "wire" : "segment yield";
+    case TraceTrack::kDisk:
+      if (event == code::kDiskRead) return "disk read";
+      if (event == code::kDiskWrite) return "disk write";
+      return "transient error";
+    case TraceTrack::kServer:
+      return "batch sweep";
+    case TraceTrack::kRpc:
+      switch (event) {
+        case code::kRpcData: return "rpc data";
+        case code::kRpcMetadata: return "rpc metadata";
+        case code::kRpcPointer: return "rpc pointer";
+        case code::kRpcCoalesced: return "rpc coalesced";
+        case code::kRpcRetry: return "rpc retry";
+        default: return "rpc give-up";
+      }
+    case TraceTrack::kPrefetch:
+      switch (event) {
+        case code::kPrefetchIssue: return "prefetch issue";
+        case code::kPrefetchHitReady: return "prefetch hit (ready)";
+        case code::kPrefetchHitInFlight: return "prefetch hit (in flight)";
+        case code::kPrefetchMiss: return "prefetch miss";
+        case code::kPrefetchShed: return "prefetch shed";
+        default: return "buffer occupancy";
+      }
+  }
+  return "?";
+}
+
+const char* track_category(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kKernel: return "kernel";
+    case TraceTrack::kMeshLink: return "mesh";
+    case TraceTrack::kDisk: return "disk";
+    case TraceTrack::kServer: return "server";
+    case TraceTrack::kRpc: return "rpc";
+    case TraceTrack::kPrefetch: return "prefetch";
+  }
+  return "?";
+}
+
+// One JSON object per line; `first` tracks the leading comma.
+class JsonLines {
+ public:
+  explicit JsonLines(std::ostream& out) : out_(out) { out_ << "[\n"; }
+  ~JsonLines() { out_ << "\n]\n"; }
+  std::ostream& next() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+void write_common(std::ostream& out, const char* name, const char* cat, const char* phase,
+                  std::int64_t tid, double ts_us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  out << "{\"name\":\"" << name << "\",\"cat\":\"" << cat << "\",\"ph\":\"" << phase
+      << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << buf;
+}
+
+void write_args(std::ostream& out, const TraceRecord& r) {
+  out << ",\"args\":{\"a\":" << r.a << ",\"b\":" << r.b
+      << ",\"flags\":" << static_cast<unsigned>(r.flags) << "}";
+}
+
+}  // namespace
+
+std::vector<TraceRecord> snapshot(const TraceSink& sink) {
+  std::vector<TraceRecord> out;
+  out.reserve(sink.size());
+  for (std::size_t i = 0; i < sink.size(); ++i) out.push_back(sink.at(i));
+  return out;
+}
+
+std::int64_t chrome_tid(TraceTrack track, std::int32_t resource) {
+  return static_cast<std::int64_t>(track) * 1000 + resource;
+}
+
+std::string chrome_thread_name(const TraceSink& sink, TraceTrack track, std::int32_t resource) {
+  switch (track) {
+    case TraceTrack::kKernel:
+      return "kernel dispatch";
+    case TraceTrack::kMeshLink:
+      return "link " + std::to_string(resource);
+    case TraceTrack::kDisk:
+      if (const char* name = sink.resource_name(track, resource)) {
+        return std::string("disk ") + name;
+      }
+      return "disk " + std::to_string(resource);
+    case TraceTrack::kServer:
+      return "pfs-server io" + std::to_string(resource);
+    case TraceTrack::kRpc:
+      return "rpc rank " + std::to_string(resource);
+    case TraceTrack::kPrefetch:
+      return "prefetch rank " + std::to_string(resource);
+  }
+  return "?";
+}
+
+void write_chrome_json(const TraceSink& sink, std::ostream& out) {
+  JsonLines lines(out);
+
+  // Name every timeline row up front so Perfetto labels tracks even before
+  // their first event.
+  std::map<std::int64_t, std::pair<TraceTrack, std::int32_t>> rows;
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    const TraceRecord& r = sink.at(i);
+    rows.emplace(chrome_tid(r.track, r.resource), std::make_pair(r.track, r.resource));
+  }
+  for (const auto& [tid, key] : rows) {
+    lines.next() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+                 << ",\"args\":{\"name\":\"" << chrome_thread_name(sink, key.first, key.second)
+                 << "\"}}";
+  }
+
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    const TraceRecord& r = sink.at(i);
+    const std::int64_t tid = chrome_tid(r.track, r.resource);
+    const char* name = event_name(r.track, r.event);
+    const char* cat = track_category(r.track);
+    const double ts_us = r.ts * 1e6;
+    std::ostream& o = lines.next();
+    switch (r.kind) {
+      case TraceKind::kSpanBegin:
+      case TraceKind::kSpanEnd: {
+        // id != 0 marks a span that may overlap others on its row (RPC
+        // envelopes, pipelined sweeps): export async so Perfetto pairs by
+        // id. id == 0 spans ride capacity-1 resources and pair strictly by
+        // order on the row.
+        const bool begin = r.kind == TraceKind::kSpanBegin;
+        if (r.id != 0) {
+          write_common(o, name, cat, begin ? "b" : "e", tid, ts_us);
+          o << ",\"id\":\"" << r.id << "\"";
+        } else {
+          write_common(o, name, cat, begin ? "B" : "E", tid, ts_us);
+        }
+        write_args(o, r);
+        o << "}";
+        break;
+      }
+      case TraceKind::kInstant:
+        write_common(o, name, cat, "i", tid, ts_us);
+        o << ",\"s\":\"t\"";
+        write_args(o, r);
+        o << "}";
+        break;
+      case TraceKind::kCounter:
+        write_common(o, name, cat, "C", tid, ts_us);
+        o << ",\"args\":{\"buffers\":" << r.a << ",\"bytes\":" << r.b << "}}";
+        break;
+    }
+  }
+}
+
+bool write_chrome_json_file(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(sink, out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+constexpr char kMagic[8] = {'P', 'P', 'F', 'S', 'T', 'R', 'C', '1'};
+}
+
+void write_binary(const TraceSink& sink, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = sink.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    const TraceRecord r = sink.at(i);
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  }
+}
+
+bool write_binary_file(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_binary(sink, out);
+  return static_cast<bool>(out);
+}
+
+bool load_binary(std::istream& in, std::vector<TraceRecord>& out) {
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    if (!in) return false;
+    out.push_back(r);
+  }
+  return true;
+}
+
+}  // namespace ppfs::trace

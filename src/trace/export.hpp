@@ -1,0 +1,48 @@
+// Cold-side trace consumers: snapshotting, Chrome trace_event JSON export
+// (Perfetto-loadable), and the compact binary dump used by --trace-last
+// post-mortems. Nothing here runs during the simulation, so heap containers
+// and iostreams are fine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ppfs::trace {
+
+class TraceSink;
+
+// Chronological copy of the retained records (oldest first; for a full ring
+// that is the last `capacity` records).
+std::vector<TraceRecord> snapshot(const TraceSink& sink);
+
+// Stable virtual-thread id for a record's (track, resource) pair. One pid;
+// each resource instance renders as its own named timeline row.
+//   kernel=0, link=1000+id, disk=2000+id, server=3000+io, rpc=4000+rank,
+//   prefetch=5000+rank.
+std::int64_t chrome_tid(TraceTrack track, std::int32_t resource);
+
+// Human name for that row, e.g. "kernel dispatch", "link 37", "disk
+// scsi8-io2/d1", "rpc rank 5". Disk names come from the sink's resource
+// registry.
+std::string chrome_thread_name(const TraceSink& sink, TraceTrack track, std::int32_t resource);
+
+// Chrome trace_event JSON-array format. Non-overlapping spans (capacity-1
+// resources: mesh links, disks) emit "B"/"E" pairs on their tid; spans that
+// can overlap (RPC envelopes, pipelined server sweeps) emit async "b"/"e"
+// pairs keyed by the record's correlation id. Instants emit "i", counters
+// "C", and every referenced tid gets a thread_name metadata record.
+// Timestamps are simulated microseconds.
+void write_chrome_json(const TraceSink& sink, std::ostream& out);
+bool write_chrome_json_file(const TraceSink& sink, const std::string& path);
+
+// Raw binary dump: "PPFSTRC1" magic, u64 record count, then the packed
+// TraceRecord array. load_binary returns false on bad magic / short read.
+void write_binary(const TraceSink& sink, std::ostream& out);
+bool write_binary_file(const TraceSink& sink, const std::string& path);
+bool load_binary(std::istream& in, std::vector<TraceRecord>& out);
+
+}  // namespace ppfs::trace

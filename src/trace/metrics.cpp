@@ -1,0 +1,246 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace ppfs::trace {
+
+namespace {
+
+bool utilization_track(TraceTrack t) {
+  return t == TraceTrack::kMeshLink || t == TraceTrack::kDisk || t == TraceTrack::kServer;
+}
+
+const char* track_label(TraceTrack t) {
+  switch (t) {
+    case TraceTrack::kMeshLink: return "mesh-link";
+    case TraceTrack::kDisk: return "disk";
+    case TraceTrack::kServer: return "server";
+    default: return "?";
+  }
+}
+
+const char* rpc_class_label(std::size_t cls) {
+  switch (cls) {
+    case code::kRpcData: return "data";
+    case code::kRpcMetadata: return "metadata";
+    case code::kRpcPointer: return "pointer";
+    default: return "coalesced";
+  }
+}
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+// 2^k microseconds as a human label: 1us, 512us, 1.0ms, 2.1s, ...
+std::string log2_bucket_label(std::size_t k) {
+  const double us = std::ldexp(1.0, static_cast<int>(k));
+  if (us < 1000.0) return fmt("%.0fus", us);
+  if (us < 1e6) return fmt("%.1fms", us / 1000.0);
+  return fmt("%.1fs", us / 1e6);
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+TraceMetrics compute_metrics(const std::vector<TraceRecord>& records, int buckets) {
+  TraceMetrics m;
+  if (buckets < 1) buckets = 1;
+  for (const TraceRecord& r : records) m.t_end = std::max(m.t_end, r.ts);
+
+  // Pair span begin/end records. Capacity-1 tracks carry id 0 and pair by
+  // (track, resource) order; async spans pair by correlation id.
+  using Key = std::pair<std::pair<int, std::int32_t>, std::uint64_t>;
+  std::map<Key, double> open;
+  // Per-(track, resource) per-bucket busy seconds.
+  std::map<std::pair<int, std::int32_t>, std::vector<double>> busy;
+  std::array<std::vector<double>, 4> rpc_latencies;
+
+  const double span = m.t_end > 0.0 ? m.t_end : 1.0;
+  const double width = span / buckets;
+
+  const auto add_interval = [&](TraceTrack track, std::int32_t res, double b, double e) {
+    auto& row = busy[{static_cast<int>(track), res}];
+    if (row.empty()) row.assign(static_cast<std::size_t>(buckets), 0.0);
+    auto& util = m.utilization[static_cast<std::size_t>(track)];
+    ++util.spans;
+    util.busy_s += e - b;
+    int k0 = std::clamp(static_cast<int>(b / width), 0, buckets - 1);
+    int k1 = std::clamp(static_cast<int>(e / width), 0, buckets - 1);
+    for (int k = k0; k <= k1; ++k) {
+      const double lo = std::max(b, k * width);
+      const double hi = std::min(e, (k + 1) * width);
+      if (hi > lo) row[static_cast<std::size_t>(k)] += hi - lo;
+    }
+  };
+
+  for (const TraceRecord& r : records) {
+    switch (r.kind) {
+      case TraceKind::kSpanBegin:
+        open[{{static_cast<int>(r.track), r.resource}, r.id}] = r.ts;
+        break;
+      case TraceKind::kSpanEnd: {
+        const Key key{{static_cast<int>(r.track), r.resource}, r.id};
+        auto it = open.find(key);
+        if (it == open.end()) break;  // begin fell off a ring snapshot
+        const double begin_ts = it->second;
+        open.erase(it);
+        if (utilization_track(r.track)) {
+          add_interval(r.track, r.resource, begin_ts, r.ts);
+        } else if (r.track == TraceTrack::kRpc && r.event < rpc_latencies.size()) {
+          rpc_latencies[r.event].push_back(r.ts - begin_ts);
+        }
+        break;
+      }
+      case TraceKind::kInstant:
+        if (r.track == TraceTrack::kKernel) {
+          ++m.kernel_dispatches;
+        } else if (r.track == TraceTrack::kRpc) {
+          if (r.event == code::kRpcRetry) ++m.rpc_retries;
+          if (r.event == code::kRpcGiveUp) ++m.rpc_give_ups;
+        }
+        break;
+      case TraceKind::kCounter:
+        if (r.track == TraceTrack::kPrefetch && r.event == code::kPrefetchOccupancy) {
+          auto& occ = m.occupancy;
+          if (occ.samples == 0) {
+            occ.min_buffers = occ.max_buffers = r.a;
+          } else {
+            occ.min_buffers = std::min(occ.min_buffers, r.a);
+            occ.max_buffers = std::max(occ.max_buffers, r.a);
+          }
+          occ.max_bytes = std::max(occ.max_bytes, r.b);
+          // Running means, so a long run does not overflow a sum.
+          ++occ.samples;
+          const double n = static_cast<double>(occ.samples);
+          occ.avg_buffers += (static_cast<double>(r.a) - occ.avg_buffers) / n;
+          occ.avg_bytes += (static_cast<double>(r.b) - occ.avg_bytes) / n;
+        }
+        break;
+    }
+  }
+
+  // Aggregate per-resource busy rows into per-track timelines.
+  for (auto& [key, row] : busy) {
+    auto& util = m.utilization[static_cast<std::size_t>(key.first)];
+    if (util.buckets.empty()) util.buckets.assign(static_cast<std::size_t>(buckets), 0.0);
+    ++util.resources;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const double frac = std::min(row[k] / width, 1.0);
+      util.buckets[k] += frac;
+      util.peak = std::max(util.peak, frac);
+    }
+  }
+  for (auto& util : m.utilization) {
+    if (util.resources == 0) continue;
+    for (double& v : util.buckets) v /= util.resources;
+    if (m.t_end > 0.0) util.avg = util.busy_s / (m.t_end * util.resources);
+    util.avg = std::min(util.avg, 1.0);
+  }
+
+  for (std::size_t cls = 0; cls < rpc_latencies.size(); ++cls) {
+    auto& lats = rpc_latencies[cls];
+    auto& stats = m.rpc[cls];
+    stats.count = lats.size();
+    if (lats.empty()) continue;
+    std::sort(lats.begin(), lats.end());
+    stats.p50 = percentile(lats, 0.50);
+    stats.p95 = percentile(lats, 0.95);
+    stats.p99 = percentile(lats, 0.99);
+    stats.max = lats.back();
+    for (double s : lats) {
+      const double us = s * 1e6;
+      int k = us <= 1.0 ? 0 : static_cast<int>(std::floor(std::log2(us)));
+      k = std::clamp(k, 0, static_cast<int>(stats.log2_us.size()) - 1);
+      ++stats.log2_us[static_cast<std::size_t>(k)];
+    }
+  }
+  return m;
+}
+
+std::string format_metrics(const TraceMetrics& m) {
+  std::string out = "== trace metrics ==\n";
+  out += "window: " + fmt("%.6f", m.t_end) + "s, kernel dispatches: " +
+         std::to_string(m.kernel_dispatches) + "\n";
+
+  bool any_util = false;
+  for (auto t : {TraceTrack::kMeshLink, TraceTrack::kDisk, TraceTrack::kServer}) {
+    const auto& util = m.utilization[static_cast<std::size_t>(t)];
+    if (util.resources == 0) continue;
+    if (!any_util) {
+      out += "utilization (" + std::to_string(util.buckets.size()) +
+             " buckets, busy fraction 0-9 per bucket):\n";
+      any_util = true;
+    }
+    char head[128];
+    std::snprintf(head, sizeof(head), "  %-9s %4d rows  avg %5.1f%%  peak %5.1f%%  [",
+                  track_label(t), util.resources, util.avg * 100.0, util.peak * 100.0);
+    out += head;
+    for (double v : util.buckets) {
+      const int d = std::clamp(static_cast<int>(v * 10.0), 0, 9);
+      out += (v <= 0.0) ? '.' : static_cast<char>('0' + d);
+    }
+    out += "]\n";
+  }
+
+  bool any_rpc = false;
+  for (std::size_t cls = 0; cls < m.rpc.size(); ++cls) {
+    if (m.rpc[cls].count > 0) any_rpc = true;
+  }
+  if (any_rpc) {
+    out += "rpc latency (per class, from issue->reply spans):\n";
+    out += "  class      count      p50      p95      p99      max\n";
+    for (std::size_t cls = 0; cls < m.rpc.size(); ++cls) {
+      const auto& s = m.rpc[cls];
+      if (s.count == 0) continue;
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-9s %6llu %7.1fus %7.1fus %7.1fus %7.1fus\n",
+                    rpc_class_label(cls), static_cast<unsigned long long>(s.count),
+                    s.p50 * 1e6, s.p95 * 1e6, s.p99 * 1e6, s.max * 1e6);
+      out += line;
+      out += "    log2:";
+      for (std::size_t k = 0; k < s.log2_us.size(); ++k) {
+        if (s.log2_us[k] == 0) continue;
+        out += ' ';
+        out += log2_bucket_label(k);
+        out += ':';
+        out += std::to_string(s.log2_us[k]);
+      }
+      out += "\n";
+    }
+    if (m.rpc_retries > 0 || m.rpc_give_ups > 0) {
+      out += "  retries: " + std::to_string(m.rpc_retries) +
+             ", give-ups: " + std::to_string(m.rpc_give_ups) + "\n";
+    }
+  }
+
+  if (m.occupancy.samples > 0) {
+    const auto& o = m.occupancy;
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "prefetch buffers: %llu samples, occupancy min %llu / avg %.1f / max %llu, "
+                  "avg %.1fKB / peak %.1fKB resident\n",
+                  static_cast<unsigned long long>(o.samples),
+                  static_cast<unsigned long long>(o.min_buffers), o.avg_buffers,
+                  static_cast<unsigned long long>(o.max_buffers), o.avg_bytes / 1024.0,
+                  static_cast<double>(o.max_bytes) / 1024.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ppfs::trace

@@ -1,0 +1,105 @@
+// TraceScope record model: one fixed-size, trivially-copyable record per
+// observed event, keyed by simulated time.
+//
+// Records come in three shapes:
+//   * spans    — a Begin/End pair bracketing an interval (a wire transfer,
+//                a disk service, an RPC issue->reply envelope);
+//   * instants — a point event (a kernel dispatch, a prefetch hit/miss, an
+//                RPC retry or give-up);
+//   * counters — a sampled value (prefetch-buffer occupancy).
+//
+// Every record names a track (which subsystem emitted it) and a resource
+// (which instance: link id, disk id, client rank, I/O index). Spans that
+// cannot overlap on their resource (mesh links and disks are capacity-1)
+// export as Chrome B/E events; spans that can overlap (RPCs in flight,
+// pipelined server sweeps) carry a nonzero correlation id and export as
+// async b/e pairs.
+//
+// This header is on the emit hot path: it must stay free of heap container
+// types (enforced by ppfs_lint's trace-hot-path-alloc rule).
+#pragma once
+
+#include <cstdint>
+
+namespace ppfs::trace {
+
+enum class TraceKind : std::uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kInstant = 2,
+  kCounter = 3,
+};
+
+enum class TraceTrack : std::uint8_t {
+  kKernel = 0,    // resource: 0 (the one event loop)
+  kMeshLink = 1,  // resource: directed link id (node*4 + direction)
+  kDisk = 2,      // resource: id from TraceSink::register_resource
+  kServer = 3,    // resource: I/O node index
+  kRpc = 4,       // resource: client rank
+  kPrefetch = 5,  // resource: client rank
+};
+inline constexpr int kTrackCount = 6;
+
+// Per-track event codes (uint8_t so the record stays packed).
+namespace code {
+// kKernel instants.
+inline constexpr std::uint8_t kDispatchCoroutine = 0;
+inline constexpr std::uint8_t kDispatchCallback = 1;
+// kMeshLink: wire-occupancy span per (link, transfer); yield instant when a
+// segmented message releases a contended route between segments.
+inline constexpr std::uint8_t kWire = 0;
+inline constexpr std::uint8_t kSegmentYield = 1;
+// kDisk spans (a = bytes, b = lba).
+inline constexpr std::uint8_t kDiskRead = 0;
+inline constexpr std::uint8_t kDiskWrite = 1;
+// kDisk instant: transient error consumed mid-service.
+inline constexpr std::uint8_t kDiskTransient = 2;
+// kServer span: one elevator sweep over a queued batch (a = extents).
+inline constexpr std::uint8_t kBatchSweep = 0;
+// kRpc spans: issue->reply envelopes, class-tagged to mirror RpcStats'
+// per-class counters (a = payload bytes, b = peer node / io index).
+inline constexpr std::uint8_t kRpcData = 0;
+inline constexpr std::uint8_t kRpcMetadata = 1;
+inline constexpr std::uint8_t kRpcPointer = 2;
+inline constexpr std::uint8_t kRpcCoalesced = 3;
+// kRpc instants: one per reissue (a = attempt) and one per terminal
+// give-up (a = failures) — the post-mortem anchor for --trace-last.
+inline constexpr std::uint8_t kRpcRetry = 4;
+inline constexpr std::uint8_t kRpcGiveUp = 5;
+// kPrefetch instants (a = offset, b = length) and the occupancy counter
+// (a = resident buffers across fds, b = resident bytes).
+inline constexpr std::uint8_t kPrefetchIssue = 0;
+inline constexpr std::uint8_t kPrefetchHitReady = 1;
+inline constexpr std::uint8_t kPrefetchHitInFlight = 2;
+inline constexpr std::uint8_t kPrefetchMiss = 3;
+inline constexpr std::uint8_t kPrefetchShed = 4;
+inline constexpr std::uint8_t kPrefetchOccupancy = 5;
+}  // namespace code
+
+// Record flags.
+inline constexpr std::uint8_t kFlagFault = 1;       // span ended by a fault/unwind
+inline constexpr std::uint8_t kFlagSequential = 2;  // disk track-cache hit
+inline constexpr std::uint8_t kFlagWrite = 4;       // write-direction transfer
+
+struct TraceRecord {
+  double ts = 0.0;         // simulated seconds
+  std::uint64_t id = 0;    // span correlation id (0 = none / B-E paired by tid)
+  std::uint64_t a = 0;     // payload, per-code meaning
+  std::uint64_t b = 0;     // payload, per-code meaning
+  std::int32_t resource = 0;
+  TraceKind kind = TraceKind::kInstant;
+  TraceTrack track = TraceTrack::kKernel;
+  std::uint8_t event = 0;  // a code:: value, scoped by track
+  std::uint8_t flags = 0;
+
+  TraceRecord() = default;
+  constexpr TraceRecord(double t, TraceKind k, TraceTrack tr, std::uint8_t code_,
+                        std::int32_t res, std::uint64_t span_id = 0, std::uint64_t a_ = 0,
+                        std::uint64_t b_ = 0, std::uint8_t flags_ = 0) noexcept
+      : ts(t), id(span_id), a(a_), b(b_), resource(res), kind(k), track(tr), event(code_),
+        flags(flags_) {}
+};
+
+static_assert(sizeof(TraceRecord) == 40, "TraceRecord must stay packed");
+
+}  // namespace ppfs::trace

@@ -1,0 +1,45 @@
+#include "trace/sink.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ppfs::trace {
+
+// Cold-side name table. Lives behind a pointer so sink.hpp never mentions a
+// heap container (hot-path lint rule).
+struct ResourceRegistry {
+  std::vector<std::string> names[kTrackCount];
+};
+
+TraceSink::TraceSink(std::size_t ring_capacity)
+    : registry_(std::make_unique<ResourceRegistry>()) {
+  if (ring_capacity > 0) {
+    ring_ = true;
+    cap_ = ring_capacity;
+    store_ = std::make_unique<TraceRecord[]>(cap_);
+  }
+}
+
+TraceSink::~TraceSink() = default;
+
+void TraceSink::grow() {
+  const std::size_t next = cap_ == 0 ? 4096 : cap_ * 2;
+  auto bigger = std::make_unique<TraceRecord[]>(next);
+  for (std::size_t i = 0; i < count_; ++i) bigger[i] = store_[i];
+  store_ = std::move(bigger);
+  cap_ = next;
+}
+
+std::int32_t TraceSink::register_resource(TraceTrack track, const char* name) {
+  auto& names = registry_->names[static_cast<int>(track)];
+  names.emplace_back(name);
+  return static_cast<std::int32_t>(names.size() - 1);
+}
+
+const char* TraceSink::resource_name(TraceTrack track, std::int32_t id) const {
+  const auto& names = registry_->names[static_cast<int>(track)];
+  if (id < 0 || static_cast<std::size_t>(id) >= names.size()) return nullptr;
+  return names[static_cast<std::size_t>(id)].c_str();
+}
+
+}  // namespace ppfs::trace

@@ -1,0 +1,93 @@
+// TraceSink: an append-only store of TraceRecords, owned by the driver and
+// observed (never consulted) by the simulation. Emitters hold a raw
+// `TraceSink*` that is null when tracing is off, so the whole subsystem
+// costs one pointer test per would-be record.
+//
+// Two storage modes share one code path:
+//   * unbounded (capacity hint 0): the backing array doubles as needed —
+//     the grow step is out-of-line so the inline fast path stays branchy
+//     but allocation-free;
+//   * ring (capacity N from --trace-last N): once full, the oldest record
+//     is overwritten and `dropped()` counts what fell off the front. Used
+//     for post-mortem dumps on fault give-up.
+//
+// This header is on the emit hot path: no heap containers or strings here
+// (enforced by ppfs_lint's trace-hot-path-alloc rule). Anything needing
+// std::string/std::vector lives in sink.cpp or export.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "trace/record.hpp"
+
+namespace ppfs::trace {
+
+struct ResourceRegistry;  // name table, defined out-of-line in sink.cpp
+
+class TraceSink {
+ public:
+  // ring_capacity == 0: unbounded, growable. Otherwise a fixed ring of
+  // that many records (the "last N" post-mortem window).
+  explicit TraceSink(std::size_t ring_capacity = 0);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Hot path: append one record. Never throws; never reorders the caller.
+  void record(const TraceRecord& r) noexcept {
+    if (count_ == cap_) {
+      if (ring_) {
+        store_[head_] = r;
+        head_ = (head_ + 1 == cap_) ? 0 : head_ + 1;
+        ++dropped_;
+        return;
+      }
+      grow();
+    }
+    store_[write_index()] = r;
+    ++count_;
+  }
+
+  // Fresh correlation id for an async span (b/e pair). Monotone from 1.
+  std::uint64_t new_span() noexcept { return ++span_seq_; }
+
+  // Cold path: name a track-scoped resource (e.g. a disk) and get the id
+  // to put in TraceRecord::resource. Names are copied into the registry.
+  std::int32_t register_resource(TraceTrack track, const char* name);
+  const char* resource_name(TraceTrack track, std::int32_t id) const;
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  bool is_ring() const noexcept { return ring_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  // Chronological read access: index 0 is the oldest retained record.
+  const TraceRecord& at(std::size_t i) const noexcept {
+    if (ring_ && count_ == cap_) {
+      const std::size_t j = head_ + i;
+      return store_[j >= cap_ ? j - cap_ : j];
+    }
+    return store_[i];
+  }
+
+ private:
+  std::size_t write_index() const noexcept {
+    if (ring_ && count_ == cap_) return head_;
+    const std::size_t j = head_ + count_;
+    return (ring_ && j >= cap_) ? j - cap_ : j;
+  }
+  void grow();  // out-of-line; doubles the unbounded store
+
+  std::unique_ptr<TraceRecord[]> store_;
+  std::size_t cap_ = 0;
+  std::size_t count_ = 0;
+  std::size_t head_ = 0;  // ring: index of the oldest record once full
+  std::size_t dropped_ = 0;
+  std::uint64_t span_seq_ = 0;
+  bool ring_ = false;
+  std::unique_ptr<ResourceRegistry> registry_;
+};
+
+}  // namespace ppfs::trace

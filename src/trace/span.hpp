@@ -1,0 +1,87 @@
+// RAII span emission plus instant/counter helpers. Every helper here takes
+// the Simulation so it can read the sink pointer and the simulated clock in
+// one place; when tracing is off (null sink) each call collapses to a
+// pointer test.
+//
+// SpanGuard emits kSpanBegin at construction and kSpanEnd exactly once —
+// either explicitly via end() (normal completion, with result payloads) or
+// from the destructor with kFlagFault set. The destructor path is what
+// closes RPC envelopes when rpc_recover throws FaultError and the coroutine
+// frame unwinds, so give-up latency still lands in the trace.
+//
+// Hot-path header: no heap containers (ppfs_lint trace-hot-path-alloc).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+namespace ppfs::trace {
+
+inline void instant(sim::Simulation& sim, TraceTrack track, std::uint8_t code,
+                    std::int32_t resource, std::uint64_t a = 0, std::uint64_t b = 0,
+                    std::uint8_t flags = 0) noexcept {
+  if (TraceSink* sink = sim.trace()) {
+    sink->record(TraceRecord(sim.now(), TraceKind::kInstant, track, code, resource, 0, a, b,
+                             flags));
+  }
+}
+
+inline void counter(sim::Simulation& sim, TraceTrack track, std::uint8_t code,
+                    std::int32_t resource, std::uint64_t a, std::uint64_t b = 0) noexcept {
+  if (TraceSink* sink = sim.trace()) {
+    sink->record(TraceRecord(sim.now(), TraceKind::kCounter, track, code, resource, 0, a, b));
+  }
+}
+
+class SpanGuard {
+ public:
+  // async=true allocates a correlation id so overlapping spans (RPCs in
+  // flight, pipelined sweeps) pair up in the exporter; capacity-1 resources
+  // (links, disks) pass async=false and pair B/E by track+resource order.
+  SpanGuard(sim::Simulation& sim, TraceTrack track, std::uint8_t code, std::int32_t resource,
+            bool async = false, std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint8_t flags = 0) noexcept
+      : sim_(sim), sink_(sim.trace()), track_(track), code_(code), resource_(resource),
+        flags_(flags) {
+    if (sink_ != nullptr) {
+      if (async) id_ = sink_->new_span();
+      sink_->record(TraceRecord(sim_.now(), TraceKind::kSpanBegin, track_, code_, resource_,
+                                id_, a, b, flags_));
+    }
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void end(std::uint64_t a = 0, std::uint64_t b = 0) noexcept {
+    if (sink_ != nullptr && !ended_) {
+      ended_ = true;
+      sink_->record(TraceRecord(sim_.now(), TraceKind::kSpanEnd, track_, code_, resource_, id_,
+                                a, b, flags_));
+    }
+  }
+
+  ~SpanGuard() {
+    if (sink_ != nullptr && !ended_) {
+      sink_->record(TraceRecord(sim_.now(), TraceKind::kSpanEnd, track_, code_, resource_, id_,
+                                0, 0, static_cast<std::uint8_t>(flags_ | kFlagFault)));
+    }
+  }
+
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  sim::Simulation& sim_;
+  TraceSink* sink_;
+  std::uint64_t id_ = 0;
+  TraceTrack track_;
+  std::uint8_t code_;
+  std::int32_t resource_;
+  std::uint8_t flags_;
+  bool ended_ = false;
+};
+
+}  // namespace ppfs::trace

@@ -136,11 +136,12 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
 
 }  // namespace
 
-ExperimentResult Experiment::run(const WorkloadSpec& w) const {
+ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) const {
   if (w.request_size == 0) throw std::invalid_argument("Experiment: zero request size");
   const int N = spec_.ncompute;
 
   sim::Simulation sim;
+  sim.set_trace_sink(sink);
   hw::MachineConfig mcfg = hw::MachineConfig::paragon(spec_.ncompute, spec_.nio, spec_.raid);
   mcfg.compute_cpu = spec_.compute_cpu;
   mcfg.io_cpu = spec_.io_cpu;

@@ -23,6 +23,10 @@
 #include "prefetch/engine.hpp"
 #include "workload/generator.hpp"
 
+namespace ppfs::trace {
+class TraceSink;
+}
+
 namespace ppfs::workload {
 
 struct MachineSpec {
@@ -93,7 +97,12 @@ class Experiment {
  public:
   explicit Experiment(MachineSpec spec = {}) : spec_(spec) {}
 
-  ExperimentResult run(const WorkloadSpec& w) const;
+  ExperimentResult run(const WorkloadSpec& w) const { return run(w, nullptr); }
+
+  /// Same, with a TraceScope sink attached to the simulation for the whole
+  /// run (populate + read phase). The sink only observes — digests are
+  /// bit-identical with tracing on or off. nullptr = tracing off.
+  ExperimentResult run(const WorkloadSpec& w, trace::TraceSink* sink) const;
 
   /// Paper Table 2: the access time of a single read call of this size in
   /// the standard collective (no prefetch, no delays) setting.

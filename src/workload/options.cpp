@@ -14,6 +14,10 @@ std::string upper(std::string s) {
   return s;
 }
 
+// stoi/stoull throw std::invalid_argument on junk and std::out_of_range on
+// overflow, and stoull silently wraps a leading '-' to a huge unsigned
+// value — so every numeric flag funnels through these wrappers, which turn
+// all three failure modes into a CliError naming the offending flag.
 int parse_int(const std::string& flag, const std::string& text) {
   try {
     std::size_t used = 0;
@@ -21,8 +25,17 @@ int parse_int(const std::string& flag, const std::string& text) {
     if (used != text.size()) throw std::invalid_argument(text);
     return v;
   } catch (const std::exception&) {
-    throw std::invalid_argument("bad integer for " + flag + ": '" + text + "'");
+    throw CliError(flag, "bad integer: '" + text + "'");
   }
+}
+
+// For count-valued flags (nodes, depths, block counts): an integer >= min.
+int parse_count(const std::string& flag, const std::string& text, int min) {
+  const int v = parse_int(flag, text);
+  if (v < min) {
+    throw CliError(flag, "must be >= " + std::to_string(min) + ", got " + text);
+  }
+  return v;
 }
 
 double parse_seconds(const std::string& flag, const std::string& text) {
@@ -32,28 +45,46 @@ double parse_seconds(const std::string& flag, const std::string& text) {
     if (used != text.size() || v < 0) throw std::invalid_argument(text);
     return v;
   } catch (const std::exception&) {
-    throw std::invalid_argument("bad duration for " + flag + ": '" + text + "'");
+    throw CliError(flag, "bad duration: '" + text + "'");
   }
 }
 
-}  // namespace
-
-sim::ByteCount parse_size(const std::string& text) {
-  if (text.empty()) throw std::invalid_argument("empty size");
+sim::ByteCount parse_size_for(const std::string& flag, const std::string& text) {
+  if (text.empty()) throw CliError(flag, "empty size");
+  if (text.find('-') != std::string::npos) {
+    // stoull would happily wrap "-1" to 2^64-1; sizes are never negative.
+    throw CliError(flag, "negative size: '" + text + "'");
+  }
   std::size_t used = 0;
   unsigned long long v = 0;
   try {
     v = std::stoull(text, &used);
   } catch (const std::exception&) {
-    throw std::invalid_argument("bad size: '" + text + "'");
+    throw CliError(flag, "bad size: '" + text + "'");
   }
-  std::string suffix = upper(text.substr(used));
-  if (suffix == "" || suffix == "B") return v;
-  if (suffix == "K" || suffix == "KB") return v * 1024ull;
-  if (suffix == "M" || suffix == "MB") return v * 1024ull * 1024ull;
-  if (suffix == "G" || suffix == "GB") return v * 1024ull * 1024ull * 1024ull;
-  throw std::invalid_argument("bad size suffix: '" + text + "'");
+  if (used == 0) throw CliError(flag, "bad size: '" + text + "'");
+  const std::string suffix = upper(text.substr(used));
+  unsigned long long mult = 1;
+  if (suffix == "" || suffix == "B") {
+    mult = 1;
+  } else if (suffix == "K" || suffix == "KB") {
+    mult = 1024ull;
+  } else if (suffix == "M" || suffix == "MB") {
+    mult = 1024ull * 1024ull;
+  } else if (suffix == "G" || suffix == "GB") {
+    mult = 1024ull * 1024ull * 1024ull;
+  } else {
+    throw CliError(flag, "bad size suffix: '" + text + "'");
+  }
+  if (mult != 1 && v > ~0ull / mult) {
+    throw CliError(flag, "size overflows: '" + text + "'");
+  }
+  return v * mult;
 }
+
+}  // namespace
+
+sim::ByteCount parse_size(const std::string& text) { return parse_size_for("", text); }
 
 pfs::IoMode parse_mode(const std::string& text) {
   std::string t = upper(text);
@@ -107,6 +138,12 @@ the paper's metrics.
                           slow:io=0,from=0,until=0.3[,factor=4]
                           link:io=0,from=0,until=0.3[,factor=3]
                         or chaos mode: "seed=42[,events=5][,horizon=0.5]"
+  --trace <path>        write a Chrome trace_event JSON of the run (open in
+                        Perfetto / chrome://tracing); single-run mode only.
+                        Tracing never changes the schedule: determinism
+                        digests are bit-identical with it on or off
+  --trace-last <n>      keep only the last n trace records (binary ring);
+                        dumped to <path>.last.bin on fault give-up
   --help                this text
 )";
 }
@@ -116,23 +153,38 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   int sgroup = 0;
   std::optional<sim::ByteCount> sunit;
 
+  // Accept "--flag=value" as well as "--flag value": split at the first '='
+  // of any "--" argument. Values themselves may contain '=' (fault plans),
+  // so only the flag side is split.
+  std::vector<std::string> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) {
+    const std::size_t eq = a.find('=');
+    if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+      argv.push_back(a.substr(0, eq));
+      argv.push_back(a.substr(eq + 1));
+    } else {
+      argv.push_back(a);
+    }
+  }
+
   auto need_value = [&](std::size_t i, const std::string& flag) -> const std::string& {
-    if (i + 1 >= args.size()) throw std::invalid_argument("missing value for " + flag);
-    return args[i + 1];
+    if (i + 1 >= argv.size()) throw CliError(flag, "missing value");
+    return argv[i + 1];
   };
 
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& a = args[i];
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
     if (a == "--help" || a == "-h") {
       opt.show_help = true;
     } else if (a == "--mode") {
       opt.workload.mode = parse_mode(need_value(i, a));
       ++i;
     } else if (a == "--request") {
-      opt.workload.request_size = parse_size(need_value(i, a));
+      opt.workload.request_size = parse_size_for(a, need_value(i, a));
       ++i;
     } else if (a == "--file") {
-      opt.workload.file_size = parse_size(need_value(i, a));
+      opt.workload.file_size = parse_size_for(a, need_value(i, a));
       ++i;
     } else if (a == "--delay") {
       opt.workload.compute_delay = parse_seconds(a, need_value(i, a));
@@ -141,7 +193,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.workload.prefetch = true;
     } else if (a == "--depth") {
       opt.workload.prefetch_cfg.depth =
-          static_cast<std::size_t>(parse_int(a, need_value(i, a)));
+          static_cast<std::size_t>(parse_count(a, need_value(i, a), 1));
       ++i;
     } else if (a == "--adaptive") {
       opt.workload.prefetch_cfg.adaptive = true;
@@ -152,27 +204,26 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--sweep") {
       opt.sweep = true;
     } else if (a == "--jobs") {
-      opt.jobs = parse_int(a, need_value(i, a));
-      if (opt.jobs < 1) throw std::invalid_argument("--jobs must be >= 1");
+      opt.jobs = parse_count(a, need_value(i, a), 1);
       ++i;
     } else if (a == "--ncompute") {
-      opt.machine.ncompute = parse_int(a, need_value(i, a));
+      opt.machine.ncompute = parse_count(a, need_value(i, a), 1);
       ++i;
     } else if (a == "--nio") {
-      opt.machine.nio = parse_int(a, need_value(i, a));
+      opt.machine.nio = parse_count(a, need_value(i, a), 1);
       ++i;
     } else if (a == "--sunit") {
-      sunit = parse_size(need_value(i, a));
+      sunit = parse_size_for(a, need_value(i, a));
       ++i;
     } else if (a == "--sgroup") {
-      sgroup = parse_int(a, need_value(i, a));
+      sgroup = parse_count(a, need_value(i, a), 0);
       ++i;
     } else if (a == "--scsi16") {
       opt.machine.raid = hw::RaidParams::scsi16();
     } else if (a == "--elevator") {
       opt.machine.raid.disk.scheduler = hw::DiskSched::kElevator;
     } else if (a == "--mesh-mtu") {
-      opt.machine.mesh_mtu = parse_size(need_value(i, a));
+      opt.machine.mesh_mtu = parse_size_for(a, need_value(i, a));
       ++i;
     } else if (a == "--coalesce") {
       opt.machine.pfs.coalesce_rpcs = true;
@@ -182,7 +233,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.workload.use_fastpath = false;
     } else if (a == "--readahead") {
       opt.machine.pfs.ufs.readahead_blocks =
-          static_cast<std::uint32_t>(parse_int(a, need_value(i, a)));
+          static_cast<std::uint32_t>(parse_count(a, need_value(i, a), 0));
       ++i;
     } else if (a == "--separate-files") {
       opt.workload.separate_files = true;
@@ -193,8 +244,15 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--faults") {
       opt.workload.faults = fault::parse_plan(need_value(i, a));
       ++i;
+    } else if (a == "--trace") {
+      opt.trace_path = need_value(i, a);
+      if (opt.trace_path.empty()) throw CliError(a, "missing value");
+      ++i;
+    } else if (a == "--trace-last") {
+      opt.trace_last = static_cast<std::size_t>(parse_count(a, need_value(i, a), 1));
+      ++i;
     } else {
-      throw std::invalid_argument("unknown flag: '" + a + "' (try --help)");
+      throw CliError(a, "unknown flag (try --help)");
     }
   }
 
@@ -204,7 +262,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     attrs.stripe_group.clear();
     const int width = sgroup > 0 ? sgroup : opt.machine.nio;
     if (width > opt.machine.nio) {
-      throw std::invalid_argument("--sgroup exceeds --nio");
+      throw CliError("--sgroup", "exceeds --nio");
     }
     for (int k = 0; k < width; ++k) attrs.stripe_group.push_back(k);
     opt.workload.attrs = attrs;

@@ -3,7 +3,9 @@
 // library so it is unit-testable.
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,21 @@
 #include "workload/generator.hpp"
 
 namespace ppfs::workload {
+
+/// Typed CLI parse error: carries the offending flag alongside the message,
+/// so drivers can print "error: --mesh-mtu: bad size 'huge'" and tests can
+/// assert on which flag was rejected. Derives std::invalid_argument so
+/// existing catch sites keep working.
+class CliError : public std::invalid_argument {
+ public:
+  CliError(std::string flag, const std::string& message)
+      : std::invalid_argument(flag.empty() ? message : flag + ": " + message),
+        flag_(std::move(flag)) {}
+  const std::string& flag() const noexcept { return flag_; }
+
+ private:
+  std::string flag_;
+};
 
 struct CliOptions {
   MachineSpec machine;
@@ -27,10 +44,16 @@ struct CliOptions {
   /// Worker threads for --sweep (each scenario is still a single-threaded,
   /// deterministic simulation). 1 = serial.
   int jobs = 1;
+  /// TraceScope: write a Chrome trace_event JSON of the run here (plain
+  /// single-run mode only). Empty = tracing off.
+  std::string trace_path;
+  /// TraceScope: keep only the last N records (binary ring buffer) and dump
+  /// them on fault give-up. 0 = unbounded when --trace is given.
+  std::size_t trace_last = 0;
 };
 
 /// Parse "64K", "8M", "1G", or plain bytes. Throws std::invalid_argument
-/// on malformed input.
+/// on malformed, negative, or overflowing input.
 sim::ByteCount parse_size(const std::string& text);
 
 /// Parse an I/O mode by paper name ("M_RECORD", case-insensitive, with or

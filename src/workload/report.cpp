@@ -1,6 +1,7 @@
 #include "workload/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -66,6 +67,9 @@ std::string fmt_bytes(sim::ByteCount bytes) {
 }
 
 std::string fmt_double(double v, int precision) {
+  // Zero-op experiments divide 0/0: a NaN (or an infinity from an elapsed
+  // time of 0) would render as "nan"/"inf" mid-table. Print "n/a" instead.
+  if (!std::isfinite(v)) return "n/a";
   std::ostringstream out;
   out << std::fixed << std::setprecision(precision) << v;
   return out.str();
@@ -73,7 +77,11 @@ std::string fmt_double(double v, int precision) {
 
 std::string fmt_time(sim::SimTime t) { return fmt_double(t, 3) + "s"; }
 
-std::string fmt_percent(double fraction) { return fmt_double(fraction * 100.0, 1) + "%"; }
+std::string fmt_percent(double fraction) {
+  // A ratio over zero operations is "nothing happened", not "nan%".
+  if (!std::isfinite(fraction)) return "0.0%";
+  return fmt_double(fraction * 100.0, 1) + "%";
+}
 
 std::string fmt_link_busy(const std::vector<std::pair<int, sim::SimTime>>& top) {
   if (top.empty()) return "none";

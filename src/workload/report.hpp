@@ -29,11 +29,11 @@ class TextTable {
 
 /// "64KB", "1MB", "8MB" — the paper's size notation (binary units).
 std::string fmt_bytes(sim::ByteCount bytes);
-/// Fixed-precision double.
+/// Fixed-precision double; "n/a" for NaN/inf (e.g. 0/0 on a zero-op run).
 std::string fmt_double(double v, int precision = 2);
 /// Seconds with ms precision, e.g. "0.412s".
 std::string fmt_time(sim::SimTime t);
-/// Percentage, e.g. "87.5%".
+/// Percentage, e.g. "87.5%"; a non-finite fraction prints "0.0%".
 std::string fmt_percent(double fraction);
 
 /// Busiest mesh links as "link 12 0.412s, link 3 0.380s" (busiest first,

@@ -1,0 +1,22 @@
+// Deliberately-bad fixture for tools/ppfs_lint.py's trace-hot-path-alloc
+// rule. NEVER compiled — it sits under a trace/ directory with a sink*
+// stem, so the lint treats it as a hot TraceScope header (inlined into the
+// kernel dispatch loop), where heap containers and stream types are banned:
+// every record() call would allocate or format. Hot trace types are PODs;
+// growth and rendering live in the cold .cpp files.
+#pragma once
+
+#include <sstream>
+#include <vector>
+
+namespace ppfs::bad {
+
+struct BadTraceSink {
+  // [trace-hot-path-alloc] heap container in a hot trace header.
+  std::vector<double> timestamps;
+
+  // [trace-hot-path-alloc] stream formatting on the record path.
+  std::ostringstream label;
+};
+
+}  // namespace ppfs::bad

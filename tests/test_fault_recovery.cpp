@@ -201,6 +201,38 @@ TEST(RetryPolicy, BackoffIsExponentialCappedAndJitterBounded) {
   }
 }
 
+// Regression: the jitter used to be applied AFTER the min() against
+// max_backoff_s, so any saturated attempt with a positive jitter draw
+// returned up to (1 + jitter) * max_backoff_s — the documented cap was
+// quietly exceeded on roughly half of all deep retries. The final value
+// must land in [0, max_backoff_s] for every attempt and every draw.
+TEST(RetryPolicy, JitteredBackoffNeverExceedsTheCap) {
+  fault::RetryPolicy p;
+  sim::Rng rng(2026);
+  bool saturated_draw_seen = false;
+  for (std::uint32_t attempt = 0; attempt < 64; ++attempt) {
+    for (int draw = 0; draw < 256; ++draw) {
+      const double d = fault::backoff_delay(p, attempt, rng);
+      EXPECT_GE(d, 0.0) << "attempt " << attempt;
+      EXPECT_LE(d, static_cast<double>(p.max_backoff_s)) << "attempt " << attempt;
+      saturated_draw_seen |= d == static_cast<double>(p.max_backoff_s);
+    }
+  }
+  // With attempt 40 the raw step saturates long before the cap, so clamped
+  // draws must actually occur — proves the test exercises the fixed branch.
+  EXPECT_TRUE(saturated_draw_seen);
+
+  // An extreme policy (jitter >= 1 can push the factor negative) still
+  // stays inside the envelope.
+  fault::RetryPolicy wild = p;
+  wild.jitter = 1.5;
+  for (int draw = 0; draw < 256; ++draw) {
+    const double d = fault::backoff_delay(wild, 40, rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, static_cast<double>(wild.max_backoff_s));
+  }
+}
+
 TEST(RetryPolicy, BackoffIsDeterministicPerSeed) {
   fault::RetryPolicy p;
   sim::Rng a(9), b(9), c(10);

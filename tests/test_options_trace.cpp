@@ -24,6 +24,17 @@ TEST(ParseSize, Malformed) {
   EXPECT_THROW(parse_size("12X"), std::invalid_argument);
 }
 
+// Regression: these inputs used to escape as raw std::stoull exceptions
+// (std::out_of_range is NOT an invalid_argument, so the CLI's catch block
+// missed it) or silently wrapped. All must surface as parse errors now.
+TEST(ParseSize, JunkOverflowAndNegative) {
+  EXPECT_THROW(parse_size("huge"), std::invalid_argument);
+  EXPECT_THROW(parse_size("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_size("-64K"), std::invalid_argument);
+  EXPECT_THROW(parse_size("99999999999999999999999"), std::invalid_argument);  // > u64
+  EXPECT_THROW(parse_size("17179869184G"), std::invalid_argument);  // suffix overflow
+}
+
 TEST(ParseMode, NamesAndPrefixes) {
   EXPECT_EQ(parse_mode("M_RECORD"), pfs::IoMode::kRecord);
   EXPECT_EQ(parse_mode("record"), pfs::IoMode::kRecord);
@@ -78,6 +89,62 @@ TEST(ParseCli, Errors) {
   EXPECT_THROW(parse_cli({"--request"}), std::invalid_argument);
   EXPECT_THROW(parse_cli({"--sgroup", "16"}), std::invalid_argument);  // > nio
   EXPECT_THROW(parse_cli({"--delay", "-1"}), std::invalid_argument);
+}
+
+// Regression: "--mesh-mtu=huge" aborted the process (uncaught
+// std::invalid_argument from stoull inside the parser, before CliError
+// existed) and "--mesh-mtu 99999999999999999999999" escaped as
+// std::out_of_range past the driver's catch. Both must now throw a
+// CliError that names the offending flag.
+TEST(ParseCli, BadValuesThrowCliErrorNamingTheFlag) {
+  try {
+    parse_cli({"--mesh-mtu", "huge"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_EQ(e.flag(), "--mesh-mtu");
+    EXPECT_NE(std::string(e.what()).find("--mesh-mtu"), std::string::npos);
+  }
+  try {
+    parse_cli({"--mesh-mtu=huge"});  // =value spelling hits the same path
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_EQ(e.flag(), "--mesh-mtu");
+  }
+  try {
+    parse_cli({"--request", "99999999999999999999999"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_EQ(e.flag(), "--request");
+  }
+  // Negative counts and sizes are rejected, not wrapped to huge values.
+  EXPECT_THROW(parse_cli({"--file", "-8M"}), CliError);
+  EXPECT_THROW(parse_cli({"--depth", "-2"}), CliError);
+  EXPECT_THROW(parse_cli({"--depth", "0"}), CliError);
+  EXPECT_THROW(parse_cli({"--jobs", "junk"}), CliError);
+  EXPECT_THROW(parse_cli({"--readahead", "-1"}), CliError);
+  // CliError derives std::invalid_argument: old catch sites still work.
+  EXPECT_THROW(parse_cli({"--sunit", "abc"}), std::invalid_argument);
+}
+
+TEST(ParseCli, EqualsValueSyntax) {
+  auto opt = parse_cli({"--mode=M_UNIX", "--request=128K", "--trace-last=512",
+                        "--trace=/tmp/out.json"});
+  EXPECT_EQ(opt.workload.mode, pfs::IoMode::kUnix);
+  EXPECT_EQ(opt.workload.request_size, 128u * 1024);
+  EXPECT_EQ(opt.trace_path, "/tmp/out.json");
+  EXPECT_EQ(opt.trace_last, 512u);
+  // Fault plans carry '=' inside the value: only the flag side splits.
+  auto fp = parse_cli({"--faults=crash:io=1,at=0.1,outage=0.15"});
+  EXPECT_FALSE(fp.workload.faults.empty());
+}
+
+TEST(ParseCli, TraceFlags) {
+  auto opt = parse_cli({"--trace", "run.json"});
+  EXPECT_EQ(opt.trace_path, "run.json");
+  EXPECT_EQ(opt.trace_last, 0u);  // unbounded by default
+  EXPECT_THROW(parse_cli({"--trace"}), CliError);
+  EXPECT_THROW(parse_cli({"--trace-last", "0"}), CliError);
+  EXPECT_THROW(parse_cli({"--trace-last", "many"}), CliError);
 }
 
 TEST(ParseCli, HelpFlag) {

@@ -235,7 +235,9 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ModeCase>& pinfo) {
       std::string name(pfs::to_string(std::get<0>(pinfo.param)));
       name += std::get<1>(pinfo.param) ? "_pf" : "_nopf";
-      name += "_" + std::to_string(std::get<2>(pinfo.param) / 1024) + "k";
+      name += '_';
+      name += std::to_string(std::get<2>(pinfo.param) / 1024);
+      name += 'k';
       return name;
     });
 

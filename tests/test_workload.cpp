@@ -2,6 +2,8 @@
 // the harness the paper-table benches are built on.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "workload/experiment.hpp"
 #include "workload/generator.hpp"
 #include "workload/report.hpp"
@@ -184,6 +186,22 @@ TEST(Report, NumberFormatting) {
   EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_time(0.4123), "0.412s");
   EXPECT_EQ(fmt_percent(0.875), "87.5%");
+}
+
+// Regression: a zero-op experiment (or a zero-bandwidth baseline in a
+// --compare speedup) divides 0/0, and the NaN used to print as "nan"/"nan%"
+// mid-table. Non-finite values now render as "n/a" / "0.0%".
+TEST(Report, NonFiniteValuesDoNotPrintNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(fmt_double(nan), "n/a");
+  EXPECT_EQ(fmt_double(inf), "n/a");
+  EXPECT_EQ(fmt_double(-inf), "n/a");
+  EXPECT_EQ(fmt_percent(nan), "0.0%");
+  EXPECT_EQ(fmt_percent(inf), "0.0%");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+  // fmt_time rides on fmt_double, so a NaN duration degrades the same way.
+  EXPECT_EQ(fmt_time(nan), "n/as");
 }
 
 }  // namespace

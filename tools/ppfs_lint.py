@@ -48,12 +48,23 @@ mechanically (it runs as a CTest, see tools/CMakeLists.txt):
                        mesh paths (setup, route() debugging, reporting)
                        are plain functions and stay exempt.
 
+  trace-hot-path-alloc A heap container or a std stream type anywhere in a
+                       hot TraceScope header (trace/record.hpp, sink.hpp,
+                       span.hpp). TraceSink::record() and the SpanGuard /
+                       instant() / counter() helpers are inlined into every
+                       instrumented layer including the kernel dispatch
+                       loop; tracing must be zero-cost when off and
+                       allocation-free per record when on (the unbounded
+                       sink amortizes via array doubling in the cold .cpp).
+                       Cold consumers (sink.cpp, export.*, metrics.*) keep
+                       full freedom.
+
 Usage:
     ppfs_lint.py [--expect-violations N] <dir-or-file>...
 
 Exit status 0 when clean; 1 when violations are found. With
 --expect-violations N the meaning inverts: exit 0 only when at least N
-violations are found AND all five rule classes fire (used to prove the
+violations are found AND all six rule classes fire (used to prove the
 lint itself detects the deliberately-bad fixtures in tests/lint_fixtures).
 """
 
@@ -175,10 +186,10 @@ HOT_PATH_STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
 
 
 def check_hot_path_std_function(path: Path, clean: str, findings: list) -> None:
-    """std::function has no place in kernel (sim/) sources: every queue
-    move runs its trampoline and capture-heavy callbacks allocate. The
-    kernel's callback type is sim::SmallFn."""
-    if "sim" not in path.parts:
+    """std::function has no place in kernel (sim/) or trace (trace/)
+    sources: every queue move runs its trampoline and capture-heavy
+    callbacks allocate. The kernel's callback type is sim::SmallFn."""
+    if "sim" not in path.parts and "trace" not in path.parts:
         return
     for m in HOT_PATH_STD_FUNCTION_RE.finditer(clean):
         findings.append(
@@ -245,6 +256,30 @@ def check_mesh_hot_path_alloc(path: Path, clean: str, findings: list) -> None:
                  f"path table / sim::InlineVec instead of heap containers"))
 
 
+HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
+STD_STREAM_RE = re.compile(r"\bstd\s*::\s*(o?stringstream|ostream|ofstream)\b")
+
+
+def check_trace_hot_path_alloc(path: Path, clean: str, findings: list) -> None:
+    """The hot TraceScope headers (record/sink/span) are inlined into every
+    instrumented layer, kernel dispatch included; they must contain no heap
+    containers or stream formatting anywhere — hot structs are PODs and the
+    sink's growth/registry live behind an indirection in the cold .cpp."""
+    if "trace" not in path.parts or path.suffix not in HEADER_SUFFIXES:
+        return
+    if not path.stem.startswith(("record", "sink", "span")):
+        return
+    for regex, what in ((HEAP_CONTAINER_RE, "heap container std::"),
+                        (STD_STREAM_RE, "stream type std::")):
+        for m in regex.finditer(clean):
+            findings.append(
+                (path, line_of(clean, m.start()), "trace-hot-path-alloc",
+                 f"{what}{m.group(1)} in a hot trace header; record/sink/span "
+                 f"are inlined into the kernel dispatch loop — keep records "
+                 f"POD and push growth/formatting into the cold translation "
+                 f"units (sink.cpp, export.cpp, metrics.cpp)"))
+
+
 def check_co_await_temporaries(path: Path, clean: str, findings: list) -> None:
     for m in CO_AWAIT_TEMP_RE.finditer(clean):
         findings.append(
@@ -293,14 +328,15 @@ def main(argv: list[str]) -> int:
         check_co_await_temporaries(path, clean, findings)
         check_hot_path_std_function(path, clean, findings)
         check_mesh_hot_path_alloc(path, clean, findings)
+        check_trace_hot_path_alloc(path, clean, findings)
 
     for path, line, rule, msg in findings:
         print(f"{path}:{line}: [{rule}] {msg}")
 
     if args.expect_violations is not None:
         rules_hit = {rule for _, _, rule, _ in findings}
-        ok = len(findings) >= args.expect_violations and len(rules_hit) == 5
-        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/5 rule classes "
+        ok = len(findings) >= args.expect_violations and len(rules_hit) == 6
+        print(f"ppfs_lint: {len(findings)} violation(s), {len(rules_hit)}/6 rule classes "
               f"fired — {'OK (expected)' if ok else 'FAIL (expected violations missing)'}")
         return 0 if ok else 1
 

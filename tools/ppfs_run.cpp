@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "exp/sweep.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/sink.hpp"
 #include "workload/options.hpp"
 #include "workload/report.hpp"
 
@@ -149,6 +152,31 @@ int run_sweep_grid(const CliOptions& opt) {
   return 0;
 }
 
+/// TraceScope output. Unbounded sinks export the whole run as Chrome
+/// trace_event JSON; ring sinks (--trace-last) only dump — as the compact
+/// binary format, since a wrapped ring has begin-less spans that Chrome's
+/// viewer would mis-render — when the run hit a fault give-up and there is
+/// a post-mortem worth keeping.
+void dump_trace(const trace::TraceSink& sink, const CliOptions& opt, bool gave_up) {
+  if (opt.trace_last == 0) {
+    if (!trace::write_chrome_json_file(sink, opt.trace_path)) {
+      std::fprintf(stderr, "trace: cannot write %s\n", opt.trace_path.c_str());
+      return;
+    }
+    std::printf("\ntrace: %zu records -> %s (open in Perfetto or chrome://tracing)\n",
+                sink.size(), opt.trace_path.c_str());
+  } else if (gave_up) {
+    const std::string path = opt.trace_path + ".last.bin";
+    if (!trace::write_binary_file(sink, path)) {
+      std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::printf("\ntrace: fault give-up post-mortem, last %zu records -> %s"
+                " (%llu older records dropped)\n",
+                sink.size(), path.c_str(), (unsigned long long)sink.dropped());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +191,16 @@ int main(int argc, char** argv) {
   if (opt.show_help) {
     std::cout << cli_usage();
     return 0;
+  }
+  if (!opt.trace_path.empty() && (opt.sweep || opt.selfcheck || opt.compare)) {
+    std::fprintf(stderr,
+                 "error: --trace: only valid in plain single-run mode "
+                 "(not with --sweep/--selfcheck/--compare)\n");
+    return 2;
+  }
+  if (opt.trace_last > 0 && opt.trace_path.empty()) {
+    std::fprintf(stderr, "error: --trace-last: requires --trace <path>\n");
+    return 2;
   }
 
   try {
@@ -205,11 +243,31 @@ int main(int argc, char** argv) {
       print_result("no prefetch:", r_off);
       std::printf("\n");
       print_result("prefetch:", r_on);
-      std::printf("\nspeedup (observed read B/W): %.2fx\n",
-                  r_on.observed_read_bw_mbs / r_off.observed_read_bw_mbs);
+      // fmt_double turns the 0/0 of a zero-bandwidth baseline into "n/a"
+      // instead of "nanx".
+      std::printf("\nspeedup (observed read B/W): %sx\n",
+                  fmt_double(r_on.observed_read_bw_mbs / r_off.observed_read_bw_mbs, 2)
+                      .c_str());
     } else {
-      const auto r = exp.run(opt.workload);
+      trace::TraceSink sink(opt.trace_last);
+      trace::TraceSink* sinkp = opt.trace_path.empty() ? nullptr : &sink;
+      ExperimentResult r;
+      try {
+        r = exp.run(opt.workload, sinkp);
+      } catch (...) {
+        // The sink outlives the simulation: even when the run dies on an
+        // unrecovered fault, the trace collected so far is written out.
+        if (sinkp) dump_trace(sink, opt, /*gave_up=*/true);
+        throw;
+      }
       print_result(opt.workload.prefetch ? "prefetch:" : "no prefetch:", r);
+      if (sinkp) {
+        const bool gave_up = r.faults.terminal_errors > 0 || r.faults.app_errors > 0;
+        dump_trace(sink, opt, gave_up);
+        std::printf("\n%s", trace::format_metrics(
+                                trace::compute_metrics(trace::snapshot(sink)))
+                                .c_str());
+      }
       if (r.verify_failures > 0) return 1;
     }
   } catch (const std::exception& e) {

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""ppfs_trace_check — schema validator for ppfs_run --trace output.
+
+Checks that a Chrome trace_event JSON file produced by the TraceScope
+exporter is well-formed enough for Perfetto / chrome://tracing AND obeys
+the invariants the exporter promises (it runs as a CTest and in the
+perf-smoke CI job):
+
+  * the file is one valid JSON array of event objects;
+  * every event carries ph/ts (metadata "M" events carry pid/tid/name);
+  * timestamps are monotonically non-decreasing in file order over all
+    non-metadata events (the sink records in dispatch order, and simulated
+    time never goes backwards);
+  * synchronous "B"/"E" events obey stack discipline per tid: every "E"
+    closes the most recent open "B" on that tid, and nothing stays open at
+    end of file (capacity-1 resources cannot overlap);
+  * async "b"/"e" events pair exactly by (cat, id): one begin, one end,
+    end.ts >= begin.ts, no orphans (RPC envelopes and pipelined server
+    sweeps overlap, so they correlate by id instead of nesting);
+  * with --require-tracks, each named track contributes at least one
+    thread_name metadata row (by prefix: kernel -> "kernel dispatch",
+    link -> "link ", disk -> "disk ", server -> "pfs-server io",
+    rpc -> "rpc rank ", prefetch -> "prefetch rank ").
+
+Usage:
+    ppfs_trace_check.py <trace.json> [--require-tracks kernel,link,disk,...]
+
+Exit status 0 when the trace passes, 1 with a diagnostic on the first
+violation class encountered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACK_PREFIXES = {
+    "kernel": "kernel dispatch",
+    "link": "link ",
+    "disk": "disk ",
+    "server": "pfs-server io",
+    "rpc": "rpc rank ",
+    "prefetch": "prefetch rank ",
+}
+
+
+def fail(msg: str) -> int:
+    print(f"ppfs_trace_check: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file from ppfs_run --trace")
+    ap.add_argument("--require-tracks", default="", metavar="LIST",
+                    help="comma-separated track names that must appear "
+                         f"(known: {', '.join(sorted(TRACK_PREFIXES))})")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {args.trace}: {e}")
+    if not isinstance(events, list) or not events:
+        return fail("trace is not a non-empty JSON array")
+
+    thread_names: list[str] = []
+    last_ts = None
+    open_sync: dict[object, list[dict]] = {}   # tid -> stack of open "B"
+    open_async: dict[tuple, dict] = {}         # (cat, id) -> open "b"
+    counts = {"B": 0, "E": 0, "b": 0, "e": 0, "i": 0, "C": 0, "M": 0}
+
+    for k, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            return fail(f"event {k} is not an object with a 'ph' field")
+        ph = ev["ph"]
+        if ph == "M":
+            counts["M"] += 1
+            if ev.get("name") != "thread_name":
+                return fail(f"event {k}: unexpected metadata record {ev.get('name')!r}")
+            if "pid" not in ev or "tid" not in ev:
+                return fail(f"event {k}: thread_name metadata without pid/tid")
+            thread_names.append(ev["args"]["name"])
+            continue
+        if ph not in counts:
+            return fail(f"event {k}: unknown phase {ph!r}")
+        counts[ph] += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(f"event {k}: missing/non-numeric ts")
+        if last_ts is not None and ts < last_ts:
+            return fail(f"event {k}: ts {ts} went backwards (previous {last_ts})")
+        last_ts = ts
+
+        if ph == "B":
+            open_sync.setdefault(ev.get("tid"), []).append(ev)
+        elif ph == "E":
+            stack = open_sync.get(ev.get("tid"))
+            if not stack:
+                return fail(f"event {k}: 'E' on tid {ev.get('tid')} with no open 'B'")
+            stack.pop()
+        elif ph == "b":
+            key = (ev.get("cat"), ev.get("id"))
+            if key[1] is None:
+                return fail(f"event {k}: async begin without an id")
+            if key in open_async:
+                return fail(f"event {k}: duplicate async begin for {key}")
+            open_async[key] = ev
+        elif ph == "e":
+            key = (ev.get("cat"), ev.get("id"))
+            begin = open_async.pop(key, None)
+            if begin is None:
+                return fail(f"event {k}: async end for {key} with no matching begin")
+            if ts < begin["ts"]:
+                return fail(f"event {k}: async span {key} ends before it begins")
+
+    dangling = {tid: len(stack) for tid, stack in open_sync.items() if stack}
+    if dangling:
+        return fail(f"unclosed 'B' events at end of trace: {dangling}")
+    if open_async:
+        return fail(f"unclosed async spans at end of trace: {sorted(open_async)[:5]}")
+
+    missing = []
+    for want in filter(None, (t.strip() for t in args.require_tracks.split(","))):
+        prefix = TRACK_PREFIXES.get(want)
+        if prefix is None:
+            return fail(f"--require-tracks: unknown track {want!r}")
+        if not any(name.startswith(prefix) for name in thread_names):
+            missing.append(want)
+    if missing:
+        return fail(f"required tracks absent from trace: {', '.join(missing)} "
+                    f"({len(thread_names)} named rows present)")
+
+    total = sum(counts.values())
+    print(f"ppfs_trace_check: OK: {total} events "
+          f"(B/E {counts['B']}/{counts['E']}, async b/e {counts['b']}/{counts['e']}, "
+          f"instants {counts['i']}, counters {counts['C']}, "
+          f"{len(thread_names)} named rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
