@@ -71,6 +71,7 @@ RunStats run_config(bool prefetch, double compute_s) {
 
   // Load the matrix: kRanks * kIterations blocks.
   bool loaded = false;
+  // ppfs-lint: allow(ref-across-await) referents are locals; sim.run() below blocks until done
   sim.spawn([](pfs::PfsClient& c, bool& done) -> sim::Task<void> {
     const int fd = co_await c.open("matrix", pfs::IoMode::kAsync);
     std::vector<std::byte> chunk(1024 * 1024);

@@ -87,6 +87,7 @@ double run_restart() {
   // per-block rebuild work, the balanced pattern).
   std::vector<sim::SimTime> runtimes(kRanks);
   for (int r = 0; r < kRanks; ++r) {
+    // ppfs-lint: allow(ref-across-await) referents are locals; sim.run() below blocks until done
     sim.spawn([](sim::Simulation& s, pfs::PfsClient& c, sim::SimTime& rt) -> sim::Task<void> {
       int fd = co_await c.open("ckpt", pfs::IoMode::kRecord);
       std::vector<std::byte> state(kStateBytes);

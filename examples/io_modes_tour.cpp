@@ -72,6 +72,7 @@ int main() {
 
     // Load the file, then run the collective.
     bool loaded = false;
+    // ppfs-lint: allow(ref-across-await) referents are locals; sim.run() below blocks until done
     sim.spawn([](pfs::PfsClient& c, bool& done) -> sim::Task<void> {
       co_await populate(c);
       done = true;

@@ -42,7 +42,9 @@ Outcome run_once(prefetch::PredictorKind kind, std::size_t depth, sim::ByteCount
 
   Outcome out;
   bool done = false;
+  // ppfs-lint: allow(ref-across-await) referents are locals; sim.run() below blocks until done
   sim.spawn([](sim::Simulation& s, pfs::PfsClient& c, sim::ByteCount strd, Outcome& o,
+               // ppfs-lint: allow(ref-across-await) same lifetime argument as the line above
                bool& flag) -> sim::Task<void> {
     // Populate.
     int fd = co_await c.open("data", pfs::IoMode::kAsync);

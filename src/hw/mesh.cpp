@@ -143,6 +143,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
   // Route lookup: spans into the precomputed pools for table-sized meshes,
   // inline scratch otherwise — no heap traffic either way for paper-scale
   // grids.
+  // ppfs::hot — per-message route lookup; pool spans or inline scratch only
   sim::InlineVec<int, kInlinePathSlots> local_path;
   sim::InlineVec<int, kInlinePathSlots> local_sorted;
   std::span<const int> path, ordered;
@@ -156,6 +157,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
     path = {local_path.data(), local_path.size()};
     ordered = {local_sorted.data(), local_sorted.size()};
   }
+  // ppfs::endhot
 
   if (cfg_.mtu == 0 || bytes <= cfg_.mtu) {
     // Legacy circuit: hold the whole route for the whole message.

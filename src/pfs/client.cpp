@@ -21,6 +21,7 @@ PfsClient::PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs)
       rank_(rank),
       nprocs_(nprocs),
       arts_(machine_.simulation(), fs.params().max_arts_per_client,
+            // ppfs-lint: allow(ref-across-await) req is the ART slot's stored request; the slot owns this coroutine and outlives it
             [this](const AsyncRequest& req) -> sim::Task<ByteCount> {
               if (req.is_write) {
                 co_await write_at(req.fd, req.offset, req.in);

@@ -345,6 +345,7 @@ sim::Task<void> PfsServer::write_batch(std::span<ExtentOp> ops, bool fastpath) {
   std::vector<sim::Task<void>> parts;
   parts.reserve(ops.size());
   for (ExtentOp& op : ops) {
+    // ppfs-lint: allow(ref-across-await) o lives in `ops`, which outlives the when_all on `parts` below
     parts.push_back([](PfsServer& self, ExtentOp& o, bool fast) -> sim::Task<void> {
       co_await self.ufs_.write(o.ino, o.local_off, o.in, fast);
       o.got = o.in.size();

@@ -13,6 +13,7 @@ namespace {
 // Process-wide registry of destroyed coroutine-frame addresses. Single
 // audit-relevant thread per process in this simulator; thread_local keeps
 // concurrent test runners independent.
+// ppfs-lint: allow(det-unsafe-source) membership tests only, never iterated
 thread_local std::unordered_set<void*> g_destroyed_frames;
 
 // splitmix64: turns an arbitrary seed into a well-mixed trigger point so

@@ -183,8 +183,11 @@ class Auditor {
   Simulation& sim_;
   bool fail_fast_ = true;
 
+  // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
   std::unordered_map<const void*, std::uint64_t> pending_;  // frame -> times queued
+  // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
   std::unordered_map<const void*, std::int64_t> resource_outstanding_;
+  // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
   std::unordered_map<const void*, BufferLedger> buffers_;
   FaultLedger faults_;
   std::vector<ViolationRecord> violations_;

@@ -77,6 +77,7 @@ class EventQueue {
     free_chunks_.reserve(n / kChunkCap + 1);
   }
 
+  // ppfs::hot — per-event push/pop pair; every simulated event passes through here
   void push(SimTime t, std::uint64_t seq, std::coroutine_handle<> h) {
     push_impl(t, seq, reinterpret_cast<std::uintptr_t>(h.address()), SmallFn{});
   }
@@ -122,6 +123,7 @@ class EventQueue {
     if (!heap_.empty()) sift_down(std::move(last));
     return e;
   }
+  // ppfs::endhot
 
   /// Drop every pending event (callback state is destroyed; queued
   /// coroutine handles are simply forgotten — teardown owns their frames).

@@ -52,6 +52,9 @@ class SmallFn {
 
   SmallFn() noexcept = default;
 
+  // ppfs::hot — construct/move/invoke run once per scheduled callback;
+  // storage is inline or FrameArena (placement new), never the heap
+
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn>>>
   SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for lambdas
@@ -117,6 +120,7 @@ class SmallFn {
     }
     ops_ = 0;
   }
+  // ppfs::endhot
 
  private:
   enum class Op : unsigned char { kInvoke, kDestroy };

@@ -20,6 +20,8 @@
 
 namespace ppfs::trace {
 
+// ppfs::hot — span/instant/counter emission is inlined into every traced
+// kernel primitive; records are POD and the off path is a pointer test
 inline void instant(sim::Simulation& sim, TraceTrack track, std::uint8_t code,
                     std::int32_t resource, std::uint64_t a = 0, std::uint64_t b = 0,
                     std::uint8_t flags = 0) noexcept {
@@ -83,5 +85,6 @@ class SpanGuard {
   std::uint8_t flags_;
   bool ended_ = false;
 };
+// ppfs::endhot
 
 }  // namespace ppfs::trace

@@ -227,6 +227,7 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) 
       loads.push_back(populate(*clients[0], "shared", kSharedTag, w.file_size));
     }
     bool done = false;
+    // ppfs-lint: allow(ref-across-await) flag is a local; sim.run() below blocks until done
     sim.spawn([](sim::Simulation& s, std::vector<Task<void>> ts, bool& flag) -> Task<void> {
       co_await sim::when_all(s, std::move(ts));
       flag = true;

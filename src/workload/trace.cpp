@@ -250,6 +250,7 @@ TraceReplayResult replay_trace(const MachineSpec& mspec, const AccessTrace& trac
   // Populate with the pattern (tag 1).
   {
     bool done = false;
+    // ppfs-lint: allow(ref-across-await) referents are locals; sim.run() below blocks until done
     sim.spawn([](pfs::PfsClient& c, ByteCount size, bool& flag) -> Task<void> {
       const int fd = co_await c.open("trace", IoMode::kAsync);
       std::vector<std::byte> chunk(std::min<ByteCount>(size, 1024 * 1024));

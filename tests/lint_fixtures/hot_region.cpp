@@ -1,0 +1,34 @@
+// Deliberately-bad fixture for the hot-region-alloc rule. NEVER compiled.
+// `// ppfs::hot` ... `// ppfs::endhot` marks an author-declared hot region
+// in ANY file — the generalization of the per-subsystem allocation rules
+// (sim/ SmallFn, hw/mesh InlineVec, trace/ POD records). Inside a region,
+// heap containers, std::function, stream types, and non-placement `new`
+// are banned; outside, full freedom.
+#include <functional>
+#include <vector>
+
+namespace ppfs::bad {
+
+// ppfs::hot — pretend per-event fast path
+inline void record_event(int v) {
+  // [hot-region-alloc] heap container inside a declared hot region.
+  std::vector<int> staging;
+  staging.push_back(v);
+
+  // [hot-region-alloc] heap `new` inside a declared hot region.
+  int* boxed = new int(v);
+  (void)boxed;
+
+  // [hot-region-alloc] std::function inside a declared hot region.
+  std::function<void()> deferred;
+  (void)deferred;
+}
+// ppfs::endhot
+
+inline void cold_reporting_path() {
+  // OK: outside the region the same constructs are fine.
+  std::vector<int> rows;
+  rows.push_back(1);
+}
+
+}  // namespace ppfs::bad

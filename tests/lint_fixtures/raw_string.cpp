@@ -1,0 +1,33 @@
+// Regression fixture for raw-string-literal handling. NEVER compiled.
+// The pre-rewrite stripper treated R"json(...)" like an ordinary quoted
+// string: it stopped at the first `"` inside the body, desynced, and from
+// then on read string content as code — masking real violations and
+// fabricating ones from literal text. The lexer must skim the whole
+// literal as one token, so the trap tokens below ([&] captures, a
+// std::function, a co_await on a braced temporary, unbalanced quotes and
+// braces) produce NOTHING, while the single genuine violation after the
+// literal is still caught. The fixture's exact-count accounting pins both
+// directions.
+namespace ppfs::bad {
+
+inline const char* kTrapSchema = R"json(
+  {
+    "spawn": "spawn([&]() -> Task<void> { co_await sim.delay(1); }())",
+    "temp": "co_await InlineAwaitable{}",
+    "fn": "std::function<void()> cb;",
+    "unbalanced": "\" ' } ) ("
+  }
+)json";
+
+struct RawEvil {};
+
+template <typename T>
+struct Task {};
+
+Task<void> after_the_raw_literal() {
+  // [co-await-temporary] the one real violation: proves the lexer is back
+  // in sync after the raw literal above.
+  co_await RawEvil{};
+}
+
+}  // namespace ppfs::bad

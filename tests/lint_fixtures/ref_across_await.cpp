@@ -1,0 +1,87 @@
+// Deliberately-bad fixture for the ref-across-await rule. NEVER compiled.
+// A coroutine frame stores reference parameters and reference captures as
+// references — the referent is NOT copied into the frame. Anything the
+// frame still touches after its first suspension must therefore outlive
+// that suspension; for lambda coroutines (whose closure object is usually
+// a temporary) and rvalue-reference parameters (usually bound to
+// temporaries) that is almost never provable, which is exactly what this
+// rule flags. Lvalue-reference parameters of *named* coroutines are the
+// codebase's long-lived-subsystem idiom and stay exempt.
+#include <string>
+
+namespace ppfs::bad {
+
+struct Sim {
+  auto delay(double dt);
+};
+
+template <typename T>
+struct Task {};
+
+Task<void> next_tick();
+
+inline void capture_outlived_by_frame(Sim& sim, int& counter) {
+  // [ref-across-await] the by-reference capture is read after the frame
+  // resumes; the closure that held it is long dead by then.
+  auto t = [&counter](Sim& s) -> Task<void> {
+    co_await s.delay(1.0);
+    ++counter;
+  }(sim);
+  (void)t;
+}
+
+inline auto lambda_ref_param_after_await(Sim& sim, int& slot) {
+  // [ref-across-await] `out` is a reference parameter of a lambda
+  // coroutine, written after the suspension.
+  return [](Sim& s, int& out) -> Task<void> {
+    co_await s.delay(2.0);
+    out = 42;
+  }(sim, slot);
+}
+
+inline auto lambda_rvalue_param(Sim& sim) {
+  // [ref-across-await] `buf` binds a temporary; the temporary dies at the
+  // first suspension, the frame keeps a reference to the corpse.
+  return [](Sim& s, std::string&& buf) -> Task<void> {
+    co_await s.delay(3.0);
+    buf.clear();
+  }(sim, std::string("scratch"));
+}
+
+// [ref-across-await] rvalue-reference parameter of a named coroutine,
+// used after the await — same dead-temporary hazard as the lambda case.
+Task<void> named_rvalue_param(std::string&& name) {
+  co_await next_tick();
+  consume(name);
+}
+
+// OK: lvalue-reference parameter of a named coroutine — the blessed idiom
+// for long-lived subsystem objects whose lifetime the call site owns.
+Task<void> named_lvalue_param(Sim& sim) {
+  co_await sim.delay(1.0);
+  co_await sim.delay(2.0);
+  co_return;
+}
+
+inline auto ref_only_before_await(Sim& sim) {
+  // OK: `s` is only read while building the first co_await's operand,
+  // i.e. before the frame ever suspends.
+  return [](Sim& s) -> Task<void> {
+    co_await s.delay(4.0);
+    co_return;
+  }(sim);
+}
+
+inline auto ref_in_await_loop(Sim& sim, int& acc) {
+  // [ref-across-await] the first co_await sits inside a loop, so every
+  // name the loop body touches — even textually before the co_await — is
+  // used after a suspension from the second iteration on.
+  return [](int& total) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      total += i;
+      co_await next_tick();
+    }
+  }(acc);
+}
+
+}  // namespace ppfs::bad

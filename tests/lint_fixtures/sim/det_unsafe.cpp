@@ -1,0 +1,46 @@
+// Deliberately-bad fixture for the det-unsafe-source rule. NEVER compiled —
+// it sits under a sim/ directory, so PpfsAnalyze treats it as
+// digest-affecting code, where wall-clock reads, ambient randomness, and
+// address-ordered containers are banned: any of them reaching the event
+// stream breaks the bit-identical replay every BENCH gate rests on.
+#include <chrono>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace ppfs::bad {
+
+struct Grant;
+
+inline double wall_seconds() {
+  // [det-unsafe-source] host wall clock in a digest-affecting directory.
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return 0.0;
+}
+
+inline int roll_die() {
+  // [det-unsafe-source] ambient randomness; use the seeded sim::Rng.
+  return rand() % 6;
+}
+
+inline unsigned reseed_from_host() {
+  // [det-unsafe-source] hardware entropy makes every replay different.
+  std::random_device rd;
+  return rd();
+}
+
+struct WakeupTable {
+  // [det-unsafe-source] unordered container: iteration order is
+  // implementation-defined, and pointer keys make it address-dependent.
+  std::unordered_map<const Grant*, int> pending;
+
+  // [det-unsafe-source] pointer-keyed ordered container: sorted by
+  // allocation address, which varies run to run.
+  std::map<Grant*, int> rank;
+
+  // OK: value-keyed ordered container — iteration order is stable.
+  std::map<int, int> by_id;
+};
+
+}  // namespace ppfs::bad

@@ -1,0 +1,42 @@
+// Deliberately-bad fixture for the scope-aware spawn-ref-capture rule.
+// NEVER compiled. The old single-line regex required `spawn(` and the
+// capture list to be adjacent; both patterns below escaped it — a capture
+// list on its own line after a wrapped call, and a lambda nested inside a
+// helper-call argument of spawn(). The scope tracker finds every lambda
+// whose capture intro sits anywhere inside a spawn(...) argument list.
+namespace ppfs::bad {
+
+struct Sim {
+  auto delay(double dt);
+  template <typename T>
+  void spawn(T&& task);
+};
+
+template <typename T>
+struct Task {};
+
+Task<void> tick();
+
+template <typename T>
+T trace_wrap(T&& task);
+
+inline void multiline_and_nested(Sim& sim, int& counter) {
+  // [spawn-ref-capture] capture list on its own line, two lines after
+  // spawn( — plus [ref-across-await]: &counter is read after the await.
+  sim.spawn(
+      [&counter]() -> Task<void> {
+        co_await tick();
+        ++counter;
+      }());
+
+  // [spawn-ref-capture] nested inside a helper-call argument: [=] copies
+  // the enclosing frame's state, including any raw this — still dangling
+  // once the enclosing function returns.
+  sim.spawn(trace_wrap(
+      [=]() -> Task<void> {
+        co_await tick();
+        co_return;
+      }()));
+}
+
+}  // namespace ppfs::bad

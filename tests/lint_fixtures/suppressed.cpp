@@ -1,0 +1,25 @@
+// Suppression-accounting fixture. NEVER compiled. Both violations below
+// are real, and both carry `// ppfs-lint: allow(<rule>)` — one on the line
+// above the finding, one trailing on the finding's own line (the two
+// supported placements). They must appear in the suppressed list and
+// contribute ZERO to every rule count; the fixture test's exact per-rule
+// expectations verify that.
+namespace ppfs::bad {
+
+template <typename T>
+struct Task {};
+
+struct SuppressedEvil {};
+
+Task<void> helper_for_suppression();
+
+Task<void> suppression_tour() {
+  // ppfs-lint: allow(discarded-task) fixture: exercises line-above placement
+  helper_for_suppression();
+
+  co_await SuppressedEvil{};  // ppfs-lint: allow(co-await-temporary) fixture: same-line placement
+
+  co_return;
+}
+
+}  // namespace ppfs::bad

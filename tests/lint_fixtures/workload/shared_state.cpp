@@ -1,0 +1,48 @@
+// Deliberately-bad fixture for the sweep-shared-state rule. NEVER compiled —
+// it sits under a workload/ directory, so PpfsAnalyze treats it as
+// scenario-reachable code, where mutable static-storage state is banned:
+// SweepRunner fans scenarios across a thread pool (--jobs), so any such
+// state races across workers and silently couples scenarios that must be
+// independent, bit-identical simulations.
+#include <cstdint>
+
+namespace ppfs::bad {
+
+// [sweep-shared-state] mutable namespace-scope variable.
+int g_total_requests = 0;
+
+namespace {
+// [sweep-shared-state] mutable variable in an anonymous namespace: still
+// one instance per process, shared by every sweep worker.
+double g_last_bandwidth_mbs;
+}  // namespace
+
+// OK: immutable configuration.
+constexpr int kTableSize = 64;
+const char* const kLabel = "workload";
+
+// OK: per-worker scratch (no cross-thread sharing).
+thread_local int tl_scratch = 0;
+
+struct Counters {
+  // [sweep-shared-state] static data member: shared across every
+  // simulation instance in the process.
+  static std::uint64_t live_experiments;
+
+  // OK: per-instance state.
+  int per_instance = 0;
+};
+
+inline int bump_call_count() {
+  // [sweep-shared-state] mutable function-local static.
+  static int calls = 0;
+  return ++calls;
+}
+
+inline int lookup_table() {
+  // OK: const local static — initialized once, read-only afterwards.
+  static const int k_primes[4] = {2, 3, 5, 7};
+  return k_primes[0];
+}
+
+}  // namespace ppfs::bad

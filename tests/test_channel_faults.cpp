@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Tests for Channel<T>, wait_with_timeout, disk fault injection, and
 // whole-stack behavior under a degraded I/O node.
 #include <gtest/gtest.h>

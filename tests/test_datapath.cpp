@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Data-path stage tests: extent-coalesced RPCs (stripe math + epoch-cached
 // stripe maps), mesh MTU segmentation, the server batch queue, and the
 // block-level sorted sweep (ufs::Ufs::read_sorted). Every stage defaults

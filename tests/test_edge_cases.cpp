@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Edge cases across the stack: multi-fd clients, cross-file prefetching,
 // empty/degenerate requests, mesh routing invariants on other shapes,
 // RAID data distribution, and pointer-service state.

@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Tests for the library extensions beyond the paper's prototype:
 // elevator disk scheduling, server-side UFS readahead, mid-file
 // set_iomode, Fast Path toggling, asynchronous writes, and the adaptive

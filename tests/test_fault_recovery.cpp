@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Fault injection and recovery across the stack: RAID degraded-mode reads,
 // the client RPC reliability envelope (retry/backoff/recovery-wait), fault
 // plan determinism, and the SimCheck fault-conservation ledger.

@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Integration tests: full-stack PFS reads/writes over the simulated
 // machine, every I/O mode, async reads, coordination services.
 #include <gtest/gtest.h>

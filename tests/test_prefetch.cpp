@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Tests for the prefetch engine — the paper's contribution.
 #include <gtest/gtest.h>
 

@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Property-based tests (parameterized sweeps) over the core invariants:
 // stripe-mapping algebra, UFS-vs-reference-model equivalence, end-to-end
 // data integrity in every I/O mode with and without prefetching, and

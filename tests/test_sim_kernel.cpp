@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Unit tests for the discrete-event kernel: Simulation, Task, Event,
 // Condition, Barrier, Resource, when_all, Rng determinism.
 #include <gtest/gtest.h>

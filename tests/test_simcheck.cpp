@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Tests for SimCheck — the kernel invariant auditor, the coroutine-frame
 // lifetime registry, the determinism digest, and pending-process teardown.
 //

@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Unit tests for the UFS substrate: content store, allocator, inode table,
 // buffer cache, and the Ufs read/write paths (buffered + fast path +
 // coalescing).

@@ -1,3 +1,4 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
 // Shared helpers for tests: deterministic byte patterns and a runner that
 // drives one Task<void> to completion on a Simulation.
 #pragma once

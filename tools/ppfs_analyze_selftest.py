@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Self-test for PpfsAnalyze (tools/ppfs_lint.py), run as a ctest.
+
+Each case writes an inline C++ snippet into a temp tree (directory layout
+matters: det-unsafe-source only fires under sim/hw/pfs/prefetch,
+sweep-shared-state only under scenario-reachable dirs) and asserts the
+exact multiset of rules the analyzer reports for it — fire, no-fire, and
+suppressed variants per rule class. CLI behaviors (exit codes for bad
+scan paths, --format=json validity, --expect accounting) run through a
+real subprocess, exactly as CI invokes the tool.
+"""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS))
+
+import ppfs_lint  # noqa: E402
+
+FAILURES = []
+
+
+def run_case(name: str, relpath: str, source: str, want_rules: list,
+             want_suppressed: list = ()) -> None:
+    with tempfile.TemporaryDirectory(prefix="ppfs_selftest_") as td:
+        f = Path(td) / relpath
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(source)
+        rep = ppfs_lint.analyze([f])
+        got = Counter(e["rule"] for e in rep.findings)
+        got_sup = Counter(e["rule"] for e in rep.suppressed)
+        if got != Counter(want_rules) or got_sup != Counter(want_suppressed):
+            FAILURES.append(
+                f"{name}: findings {dict(got)} (want {dict(Counter(want_rules))}), "
+                f"suppressed {dict(got_sup)} (want {dict(Counter(want_suppressed))})")
+            return
+    print(f"  ok: {name}")
+
+
+TASK_PREAMBLE = """
+namespace ppfs::t {
+template <typename T> struct Task {};
+Task<void> helper();
+"""
+CLOSE = "\n}\n"
+
+
+def main() -> int:
+    print("== rule fire / no-fire / suppressed ==")
+
+    # --- discarded-task ---
+    run_case("discarded-task fires", "a.cpp",
+             TASK_PREAMBLE + "void f() { helper(); }" + CLOSE,
+             ["discarded-task"])
+    run_case("discarded-task no-fire (co_await)", "a.cpp",
+             TASK_PREAMBLE + "Task<void> f() { co_await helper(); }" + CLOSE,
+             [])
+    run_case("discarded-task no-fire (std:: chain)", "a.cpp",
+             TASK_PREAMBLE + "Task<void> copy();\n"
+             "void f(int* a, int* b) { std::copy(a, a + 1, b); }" + CLOSE,
+             [])
+    run_case("discarded-task no-fire (file-local void shadow)", "a.cpp",
+             TASK_PREAMBLE + "struct Bed { void helper(int); };\n"
+             "void f(Bed& b) { b.helper(1); }" + CLOSE,
+             [])
+    run_case("discarded-task suppressed (line above)", "a.cpp",
+             TASK_PREAMBLE +
+             "void f() {\n  // ppfs-lint: allow(discarded-task) selftest\n"
+             "  helper();\n}" + CLOSE,
+             [], ["discarded-task"])
+
+    # --- spawn-ref-capture (multi-line) + ref-across-await ---
+    spawn_src = TASK_PREAMBLE + """
+struct Sim { template <typename T> void spawn(T&& t); };
+Task<void> tick();
+void f(Sim& sim, int& n) {
+  sim.spawn(
+      [&n]() -> Task<void> {
+        co_await tick();
+        ++n;
+      }());
+}
+""" + CLOSE
+    run_case("spawn-ref-capture + ref-across-await fire (multi-line)", "a.cpp",
+             spawn_src, ["spawn-ref-capture", "ref-across-await"])
+    run_case("spawn no-fire (value params)", "a.cpp",
+             TASK_PREAMBLE + """
+struct Sim { template <typename T> void spawn(T&& t); };
+Task<void> tick();
+void f(Sim& sim, int n) {
+  sim.spawn([](int v) -> Task<void> { co_await tick(); (void)v; }(n));
+}
+""" + CLOSE, [])
+    run_case("ref-across-await no-fire (ref only before await)", "a.cpp",
+             TASK_PREAMBLE + """
+Task<void> tick();
+void f() {
+  auto t = [](int& n) -> Task<void> {
+    ++n;
+    co_await tick();
+  }(*new int(0));
+}
+""" + CLOSE, [])
+
+    # --- co-await-temporary ---
+    run_case("co-await-temporary fires", "a.cpp",
+             TASK_PREAMBLE + "struct Evil {};\n"
+             "Task<void> f() { co_await Evil{}; }" + CLOSE,
+             ["co-await-temporary"])
+    run_case("co-await-temporary suppressed (same line)", "a.cpp",
+             TASK_PREAMBLE + "struct Evil {};\n"
+             "Task<void> f() { co_await Evil{}; "
+             "// ppfs-lint: allow(co-await-temporary) selftest\n}" + CLOSE,
+             [], ["co-await-temporary"])
+
+    # --- hot-path-std-function (sim/ header) ---
+    run_case("hot-path-std-function fires in sim/", "sim/q.hpp",
+             "namespace ppfs::sim {\nstruct Q { std::function<void()> cb; };\n}\n",
+             ["hot-path-std-function"])
+    run_case("std::function fine outside hot dirs", "exp/q.hpp",
+             "namespace ppfs::exp {\nstruct Q { std::function<void()> cb; };\n}\n",
+             [])
+
+    # --- mesh-hot-path-alloc ---
+    run_case("mesh-hot-path-alloc fires", "hw/mesh_x.cpp",
+             TASK_PREAMBLE + "Task<void> send() {\n"
+             "  std::vector<int> path;\n  co_await helper();\n}" + CLOSE,
+             ["mesh-hot-path-alloc"])
+
+    # --- trace-hot-path-alloc ---
+    run_case("trace-hot-path-alloc fires in hot trace header", "trace/record_x.hpp",
+             "namespace ppfs::trace {\nstruct R { std::vector<int> v; };\n}\n",
+             ["trace-hot-path-alloc"])
+
+    # --- det-unsafe-source ---
+    run_case("det-unsafe wall clock fires in sim/", "sim/d.cpp",
+             "namespace ppfs::sim {\nvoid f() { auto t = "
+             "std::chrono::steady_clock::now(); (void)t; }\n}\n",
+             ["det-unsafe-source"])
+    run_case("det-unsafe rand fires in pfs/", "pfs/d.cpp",
+             "namespace ppfs::pfs {\nint f() { return rand(); }\n}\n",
+             ["det-unsafe-source"])
+    run_case("det-unsafe pointer-keyed map fires", "prefetch/d.cpp",
+             "namespace ppfs::prefetch {\nstruct S {};\n"
+             "std::map<S*, int> order;\n}\n",
+             ["det-unsafe-source", "sweep-shared-state"])
+    run_case("det-unsafe no-fire outside digest dirs", "exp/d.cpp",
+             "namespace ppfs::exp {\nint f() { return rand(); }\n}\n",
+             [])
+    run_case("det-unsafe no-fire for value-keyed map", "sim/d.cpp",
+             "namespace ppfs::sim {\nvoid f() { std::map<int, int> m; (void)m; }\n}\n",
+             [])
+
+    # --- sweep-shared-state ---
+    run_case("sweep-shared-state global fires", "workload/s.cpp",
+             "namespace ppfs::workload {\nint g_hits = 0;\n}\n",
+             ["sweep-shared-state"])
+    run_case("sweep-shared-state local static fires", "workload/s.cpp",
+             "namespace ppfs::workload {\nint f() { static int calls = 0; "
+             "return ++calls; }\n}\n",
+             ["sweep-shared-state"])
+    run_case("sweep-shared-state no-fire (constexpr/thread_local)", "workload/s.cpp",
+             "namespace ppfs::workload {\nconstexpr int kMax = 4;\n"
+             "thread_local int t_scratch = 0;\n}\n",
+             [])
+    run_case("sweep-shared-state no-fire (prototype default arg)", "workload/s.cpp",
+             "namespace ppfs::workload {\nstruct Cfg {};\n"
+             "int replay(const Cfg& c = {}, bool verify = false);\n}\n",
+             [])
+
+    # --- hot-region-alloc ---
+    run_case("hot-region-alloc fires inside region", "exp/h.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nvoid f() { "
+             "std::vector<int> v; (void)v; }\n// ppfs::endhot\n}\n",
+             ["hot-region-alloc"])
+    run_case("hot-region-alloc placement new exempt", "exp/h.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nvoid f(void* p) { "
+             "::new (p) int(1); }\n// ppfs::endhot\n}\n",
+             [])
+    run_case("hot-region unterminated reported", "exp/h.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nvoid f();\n}\n",
+             ["hot-region-alloc"])
+    run_case("prose mention of markers is not a directive", "exp/h.cpp",
+             "namespace ppfs::exp {\n"
+             "// the markers `// ppfs::hot` and `// ppfs::endhot` are described here\n"
+             "void f() { std::vector<int> v; (void)v; }\n}\n",
+             [])
+
+    # --- file-scope suppression ---
+    run_case("allow-file suppresses whole file", "a.cpp",
+             "// ppfs-lint: allow-file(co-await-temporary) selftest justification\n"
+             + TASK_PREAMBLE + "struct Evil {};\n"
+             "Task<void> f() { co_await Evil{}; co_await Evil{}; }" + CLOSE,
+             [], ["co-await-temporary", "co-await-temporary"])
+
+    print("== raw-string regression (strip_comments_and_strings) ==")
+    raw = 'auto s = R"x(unbalanced " brace { paren ( )x"; int keep = 1;'
+    stripped = ppfs_lint.strip_comments_and_strings(raw)
+    if len(stripped) != len(raw):
+        FAILURES.append("strip: length not preserved over raw literal")
+    elif "unbalanced" in stripped or "{" in stripped.split(";")[0]:
+        FAILURES.append(f"strip: raw-string body leaked: {stripped!r}")
+    elif "int keep = 1;" not in stripped:
+        FAILURES.append(f"strip: desynced after raw literal: {stripped!r}")
+    else:
+        print("  ok: raw string blanked, code after it intact")
+
+    print("== CLI: error paths, JSON, expectations ==")
+    lint = TOOLS / "ppfs_lint.py"
+
+    def cli(*args, cwd=None):
+        return subprocess.run([sys.executable, str(lint), *args],
+                              capture_output=True, text=True, cwd=cwd)
+
+    with tempfile.TemporaryDirectory(prefix="ppfs_selftest_") as td:
+        tdp = Path(td)
+        (tdp / "empty").mkdir()
+        (tdp / "notes.txt").write_text("not C++\n")
+        (tdp / "ok.cpp").write_text("namespace ppfs { void f(); }\n")
+
+        r = cli(str(tdp / "missing"))
+        if r.returncode != 2 or "does not exist" not in r.stderr:
+            FAILURES.append(f"CLI missing path: rc={r.returncode} err={r.stderr!r}")
+        else:
+            print("  ok: nonexistent path -> rc=2 with message")
+
+        r = cli(str(tdp / "empty"))
+        if r.returncode != 2 or "zero C++ sources" not in r.stderr:
+            FAILURES.append(f"CLI empty dir: rc={r.returncode} err={r.stderr!r}")
+        else:
+            print("  ok: dir with no C++ sources -> rc=2 with message")
+
+        r = cli(str(tdp / "notes.txt"))
+        if r.returncode != 2 or "not a C++ source" not in r.stderr:
+            FAILURES.append(f"CLI non-C++ file: rc={r.returncode} err={r.stderr!r}")
+        else:
+            print("  ok: non-C++ file argument -> rc=2 with message")
+
+        r = cli("--format=json", str(tdp / "ok.cpp"))
+        try:
+            doc = json.loads(r.stdout)
+            assert doc["tool"] == "PpfsAnalyze" and doc["files"] == 1
+            assert doc["violations"] == [] and "rule_counts" in doc
+            print("  ok: --format=json emits valid document")
+        except Exception as exc:  # noqa: BLE001
+            FAILURES.append(f"CLI json: {exc}: {r.stdout[:200]!r}")
+
+        bad = tdp / "sim" / "bad.cpp"
+        bad.parent.mkdir()
+        bad.write_text("namespace ppfs::sim {\nint f() { return rand(); }\n}\n")
+        r = cli("--expect", "det-unsafe-source=1", str(bad))
+        if r.returncode != 0:
+            FAILURES.append(f"CLI --expect exact: rc={r.returncode} out={r.stdout!r}")
+        else:
+            print("  ok: --expect rule=N exact count passes")
+        r = cli("--expect", "det-unsafe-source=2", str(bad))
+        if r.returncode == 0:
+            FAILURES.append("CLI --expect wrong count unexpectedly passed")
+        else:
+            print("  ok: --expect with wrong count fails")
+        r = cli("--expect", "not-a-rule=1", str(bad))
+        if r.returncode != 2:
+            FAILURES.append(f"CLI --expect bad rule: rc={r.returncode}")
+        else:
+            print("  ok: --expect with unknown rule -> rc=2")
+
+    if FAILURES:
+        print(f"\nppfs_analyze_selftest: {len(FAILURES)} FAILURE(S)")
+        for f in FAILURES:
+            print(f"  FAIL: {f}")
+        return 1
+    print("\nppfs_analyze_selftest: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
