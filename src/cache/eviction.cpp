@@ -1,0 +1,51 @@
+#include "cache/eviction.hpp"
+
+namespace ppfs::cache {
+
+const char* to_string(EvictionKind k) noexcept {
+  switch (k) {
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kFifo: return "fifo";
+  }
+  return "unknown";
+}
+
+void QueueEviction::on_insert(const BlockKey& key) {
+  auto it = where_.find(key);
+  if (it != where_.end()) return;  // already tracked
+  order_.push_back(key);
+  where_[key] = std::prev(order_.end());
+}
+
+void QueueEviction::on_access(const BlockKey& key) {
+  if (kind_ != EvictionKind::kLru) return;
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  order_.splice(order_.end(), order_, it->second);
+}
+
+void QueueEviction::on_remove(const BlockKey& key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<BlockKey> QueueEviction::pick_victim() {
+  if (order_.empty()) return std::nullopt;
+  const BlockKey key = order_.front();
+  order_.pop_front();
+  where_.erase(key);
+  return key;
+}
+
+void QueueEviction::reset() {
+  order_.clear();
+  where_.clear();
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction(EvictionKind kind) {
+  return std::make_unique<QueueEviction>(kind);
+}
+
+}  // namespace ppfs::cache

@@ -1,0 +1,69 @@
+// Pluggable eviction for the second-tier block cache.
+//
+// The tier tracks residency at (ino, logical block) granularity; when an
+// insert would exceed the configured capacity it asks the policy for a
+// victim. Policies are deterministic — victim choice depends only on the
+// access/insert sequence, never on addresses or wall-clock — so runs with
+// the tier enabled replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace ppfs::cache {
+
+/// One resident tier block.
+struct BlockKey {
+  std::uint32_t ino = 0;
+  std::uint64_t lblock = 0;
+
+  friend bool operator<(const BlockKey& a, const BlockKey& b) noexcept {
+    return a.ino != b.ino ? a.ino < b.ino : a.lblock < b.lblock;
+  }
+  friend bool operator==(const BlockKey& a, const BlockKey& b) noexcept {
+    return a.ino == b.ino && a.lblock == b.lblock;
+  }
+};
+
+enum class EvictionKind : std::uint8_t {
+  kLru,   // least-recently-used (hits refresh recency)
+  kFifo,  // insertion order (hits do not protect a block)
+};
+
+const char* to_string(EvictionKind k) noexcept;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual void on_insert(const BlockKey& key) = 0;
+  virtual void on_access(const BlockKey& key) = 0;
+  virtual void on_remove(const BlockKey& key) = 0;
+  /// Choose (and forget) the next victim; nullopt when nothing is tracked.
+  virtual std::optional<BlockKey> pick_victim() = 0;
+  virtual void reset() = 0;
+};
+
+/// LRU and FIFO share the queue representation; LRU additionally moves a
+/// block to the tail on access.
+class QueueEviction final : public EvictionPolicy {
+ public:
+  explicit QueueEviction(EvictionKind kind) : kind_(kind) {}
+
+  void on_insert(const BlockKey& key) override;
+  void on_access(const BlockKey& key) override;
+  void on_remove(const BlockKey& key) override;
+  std::optional<BlockKey> pick_victim() override;
+  void reset() override;
+
+ private:
+  EvictionKind kind_;
+  std::list<BlockKey> order_;  // front = next victim
+  std::map<BlockKey, std::list<BlockKey>::iterator> where_;
+};
+
+std::unique_ptr<EvictionPolicy> make_eviction(EvictionKind kind);
+
+}  // namespace ppfs::cache

@@ -1,0 +1,228 @@
+#include "cache/fsck.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace ppfs::cache {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Audit one shard; pure read (decodes payload copies against the truth
+/// map) so shards can run on worker threads without touching shared state.
+void scan_shard(std::size_t shard_index, const FsckShard& shard,
+                std::vector<FsckFinding>& out) {
+  std::map<std::uint32_t, FsckFileTruth> truth;
+  for (const FsckFileTruth& f : shard.files) truth[f.ino] = f;
+
+  for (const auto& [ino, entry] : shard.tier->durable_entries()) {
+    auto decoded = decode(entry.payload.data(), entry.payload.size());
+    if (!decoded || decoded->ino != ino) {
+      out.push_back(FsckFinding{shard_index, ino, FsckFindingKind::kTorn, 0, std::nullopt});
+      continue;
+    }
+    const auto tit = truth.find(ino);
+    if (tit == truth.end()) {
+      out.push_back(
+          FsckFinding{shard_index, ino, FsckFindingKind::kUnknownIno, 0, std::nullopt});
+      continue;
+    }
+    if (tit->second.generation != decoded->generation) {
+      out.push_back(FsckFinding{shard_index, ino, FsckFindingKind::kStaleGeneration, 0,
+                                std::nullopt});
+      continue;
+    }
+    CacheFileInfo repaired = *decoded;
+    const std::uint64_t dropped = repaired.clamp(tit->second.block_count);
+    if (dropped > 0) {
+      out.push_back(FsckFinding{shard_index, ino, FsckFindingKind::kOutOfRange, dropped,
+                                std::move(repaired)});
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(FsckFindingKind k) noexcept {
+  switch (k) {
+    case FsckFindingKind::kTorn: return "torn";
+    case FsckFindingKind::kUnknownIno: return "unknown-ino";
+    case FsckFindingKind::kStaleGeneration: return "stale-generation";
+    case FsckFindingKind::kOutOfRange: return "out-of-range";
+  }
+  return "unknown";
+}
+
+std::string FsckReport::summary() const {
+  std::ostringstream os;
+  os << "fsck: shards=" << shards.size() << " entries=" << entries_checked
+     << " findings=" << findings() << " torn=" << torn_dropped
+     << " unknown-ino=" << unknown_ino_dropped
+     << " stale-gen=" << stale_generation_dropped
+     << " out-of-range-entries=" << out_of_range_entries
+     << " out-of-range-bits=" << out_of_range_bits_cleared
+     << " repaired=" << repairs_applied << " unrepaired=" << unrepaired
+     << " clean=" << (clean() ? "yes" : "no") << "\n";
+  for (const FsckShardReport& s : shards) {
+    os << "  [" << s.label << "] entries=" << s.entries_checked << " torn=" << s.torn_dropped
+       << " unknown-ino=" << s.unknown_ino_dropped
+       << " stale-gen=" << s.stale_generation_dropped
+       << " out-of-range-bits=" << s.out_of_range_bits_cleared
+       << " repaired=" << s.repairs_applied << " unrepaired=" << s.unrepaired << "\n";
+  }
+  return os.str();
+}
+
+FsckReport run_fsck(std::vector<FsckShard>& shards, unsigned jobs, bool repair) {
+  if (jobs == 0) jobs = 1;
+
+  // Phase 1: parallel scan. Workers claim whole shards (one tier each) via
+  // an atomic cursor and write findings into per-shard slots — no locks, no
+  // shared mutable state, identical findings regardless of the job count.
+  std::vector<std::vector<FsckFinding>> findings(shards.size());
+  std::atomic<std::size_t> cursor{0};
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, shards.empty() ? 1 : shards.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&shards, &findings, &cursor] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= shards.size()) return;
+        if (shards[i].tier != nullptr) scan_shard(i, shards[i], findings[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  // Phase 2: serial accounting + repair, in shard order, on the caller's
+  // thread (CacheTier::fsck_* feed the single-threaded SimCheck auditor).
+  FsckReport report;
+  report.shards.resize(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    FsckShardReport& sr = report.shards[i];
+    sr.label = shards[i].label;
+    sr.entries_checked =
+        shards[i].tier ? static_cast<std::uint64_t>(shards[i].tier->durable_entries().size())
+                       : 0;
+    for (FsckFinding& f : findings[i]) {
+      switch (f.kind) {
+        case FsckFindingKind::kTorn: ++sr.torn_dropped; break;
+        case FsckFindingKind::kUnknownIno: ++sr.unknown_ino_dropped; break;
+        case FsckFindingKind::kStaleGeneration: ++sr.stale_generation_dropped; break;
+        case FsckFindingKind::kOutOfRange:
+          ++sr.out_of_range_entries;
+          sr.out_of_range_bits_cleared += f.bits_affected;
+          break;
+      }
+      if (!repair) {
+        ++sr.unrepaired;
+        continue;
+      }
+      if (f.kind == FsckFindingKind::kOutOfRange && f.repaired) {
+        shards[i].tier->fsck_rewrite(f.ino, *f.repaired);
+      } else {
+        shards[i].tier->fsck_drop(f.ino);
+      }
+      ++sr.repairs_applied;
+    }
+    report.entries_checked += sr.entries_checked;
+    report.torn_dropped += sr.torn_dropped;
+    report.unknown_ino_dropped += sr.unknown_ino_dropped;
+    report.stale_generation_dropped += sr.stale_generation_dropped;
+    report.out_of_range_entries += sr.out_of_range_entries;
+    report.out_of_range_bits_cleared += sr.out_of_range_bits_cleared;
+    report.repairs_applied += sr.repairs_applied;
+    report.unrepaired += sr.unrepaired;
+  }
+  return report;
+}
+
+std::vector<std::string> inject_corruptions(std::vector<FsckShard>& shards,
+                                            std::uint64_t seed, std::size_t count) {
+  // Candidate journal entries in deterministic (shard, ino) order.
+  std::vector<std::pair<std::size_t, std::uint32_t>> entries;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].tier) continue;
+    for (const auto& [ino, entry] : shards[i].tier->durable_entries()) {
+      entries.emplace_back(i, ino);
+    }
+  }
+
+  std::vector<std::string> injected;
+  if (entries.empty()) return injected;
+  std::uint64_t rng = seed;
+  for (std::size_t n = 0; n < count; ++n) {
+    rng = splitmix64(rng);
+    const auto [shard, ino] = entries[rng % entries.size()];
+    CacheTier& tier = *shards[shard].tier;
+    std::uint32_t target = ino;
+    const char* what = "";
+    switch (n % 4) {
+      case 0:  // torn write: checksum mismatch
+        tier.debug_corrupt_payload(ino);
+        what = "torn";
+        break;
+      case 1: {  // stale generation
+        const auto it = tier.durable_entries().find(ino);
+        auto decoded =
+            it != tier.durable_entries().end()
+                ? decode(it->second.payload.data(), it->second.payload.size())
+                : std::nullopt;
+        if (decoded) {
+          decoded->generation += 12345;
+          tier.debug_replace_entry(ino, *decoded);
+          what = "stale-generation";
+        } else {
+          tier.debug_corrupt_payload(ino);
+          what = "torn";
+        }
+        break;
+      }
+      case 2: {  // out-of-range bits beyond the file's allocation
+        const auto it = tier.durable_entries().find(ino);
+        auto decoded =
+            it != tier.durable_entries().end()
+                ? decode(it->second.payload.data(), it->second.payload.size())
+                : std::nullopt;
+        if (decoded) {
+          decoded->set(decoded->block_count + 2);
+          decoded->set(decoded->block_count + 5);
+          tier.debug_replace_entry(ino, *decoded);
+          what = "out-of-range";
+        } else {
+          tier.debug_corrupt_payload(ino);
+          what = "torn";
+        }
+        break;
+      }
+      default: {  // entry for an inode that does not exist
+        CacheFileInfo ghost;
+        ghost.ino = 9000000u + static_cast<std::uint32_t>(n);
+        ghost.generation = 1;
+        ghost.set(0);
+        ghost.set(1);
+        tier.debug_replace_entry(ghost.ino, ghost);
+        target = ghost.ino;
+        what = "unknown-ino";
+        break;
+      }
+    }
+    injected.push_back("[" + shards[shard].label + "] ino=" + std::to_string(target) + " " +
+                       what);
+  }
+  return injected;
+}
+
+}  // namespace ppfs::cache

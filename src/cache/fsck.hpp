@@ -1,0 +1,105 @@
+// ppfs_fsck — a parallel consistency checker for the second-tier cache.
+//
+// After a crash the journal on each I/O node's cache device may disagree
+// with the filesystem truth: torn entries (crash mid-write), entries for
+// inodes that no longer exist, stale generations (file recreated under the
+// same ino), and bitmap bits beyond a file's current allocation. fsck
+// cross-audits every journal entry against the UFS inode table and either
+// repairs the entry (clamping out-of-range bits) or quarantines it
+// (dropping torn/unknown/stale entries), in the style of pFSCK: the scan is
+// sharded across a thread pool, one shard per I/O node.
+//
+// Determinism: workers only *read* (decode payload copies, compare against
+// the truth table); all repairs are applied serially afterwards in shard
+// order, and the report/summary are byte-identical regardless of --jobs.
+// Serial application also keeps the SimCheck auditor's single-threaded
+// bookkeeping safe — repairs route through CacheTier::fsck_* which account
+// every cleared bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/tier.hpp"
+
+namespace ppfs::cache {
+
+/// Filesystem truth for one file, as the UFS inode table knows it.
+struct FsckFileTruth {
+  std::uint32_t ino = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t block_count = 0;
+};
+
+/// One unit of fsck work: one I/O node's tier plus that node's inode truth.
+struct FsckShard {
+  CacheTier* tier = nullptr;
+  std::vector<FsckFileTruth> files;
+  std::string label;
+};
+
+enum class FsckFindingKind : std::uint8_t {
+  kTorn,             // checksum/layout mismatch — crash landed mid-write
+  kUnknownIno,       // no such inode in the truth table
+  kStaleGeneration,  // inode exists but was recreated since the entry
+  kOutOfRange,       // resident bits beyond the file's allocation
+};
+
+const char* to_string(FsckFindingKind k) noexcept;
+
+struct FsckFinding {
+  std::size_t shard = 0;
+  std::uint32_t ino = 0;
+  FsckFindingKind kind = FsckFindingKind::kTorn;
+  /// For kOutOfRange: how many bits the repair clears.
+  std::uint64_t bits_affected = 0;
+  /// The repaired bitmap to journal (kOutOfRange only); drops carry none.
+  std::optional<CacheFileInfo> repaired;
+};
+
+struct FsckShardReport {
+  std::string label;
+  std::uint64_t entries_checked = 0;
+  std::uint64_t torn_dropped = 0;
+  std::uint64_t unknown_ino_dropped = 0;
+  std::uint64_t stale_generation_dropped = 0;
+  std::uint64_t out_of_range_entries = 0;
+  std::uint64_t out_of_range_bits_cleared = 0;
+  std::uint64_t repairs_applied = 0;
+  std::uint64_t unrepaired = 0;
+};
+
+struct FsckReport {
+  std::vector<FsckShardReport> shards;
+  std::uint64_t entries_checked = 0;
+  std::uint64_t torn_dropped = 0;
+  std::uint64_t unknown_ino_dropped = 0;
+  std::uint64_t stale_generation_dropped = 0;
+  std::uint64_t out_of_range_entries = 0;
+  std::uint64_t out_of_range_bits_cleared = 0;
+  std::uint64_t repairs_applied = 0;
+  std::uint64_t unrepaired = 0;
+  std::uint64_t findings() const noexcept {
+    return torn_dropped + unknown_ino_dropped + stale_generation_dropped + out_of_range_entries;
+  }
+  bool clean() const noexcept { return unrepaired == 0; }
+  /// Deterministic multi-line summary (independent of the job count).
+  std::string summary() const;
+};
+
+/// Scan every shard with up to `jobs` worker threads; when `repair` is true,
+/// apply the repairs/quarantines (serially, in shard order) so a second run
+/// reports zero findings.
+FsckReport run_fsck(std::vector<FsckShard>& shards, unsigned jobs, bool repair);
+
+/// Seed-deterministic corruption injector for tests and `ppfs_fsck
+/// --corrupt`: damages `count` journal entries across the shards, cycling
+/// through all four finding kinds. Returns a description of each injected
+/// corruption (stable for a given seed and shard population).
+std::vector<std::string> inject_corruptions(std::vector<FsckShard>& shards,
+                                            std::uint64_t seed, std::size_t count);
+
+}  // namespace ppfs::cache

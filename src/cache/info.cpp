@@ -1,0 +1,106 @@
+#include "cache/info.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ppfs::cache {
+
+namespace {
+
+// Header layout in words: magic, ino, generation, block_count, word_count,
+// checksum. The checksum word is last so encode can hash everything before
+// it in one pass.
+constexpr std::size_t kHeaderWords = 6;
+constexpr std::size_t kChecksumWord = 5;
+
+}  // namespace
+
+std::uint64_t info_checksum(const std::uint64_t* words, std::size_t count) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void CacheFileInfo::cover(std::uint64_t blocks) {
+  if (blocks > block_count) block_count = blocks;
+  const std::uint64_t words = (block_count + 63) / 64;
+  if (bits.size() < words) bits.resize(words, 0);
+}
+
+bool CacheFileInfo::set(std::uint64_t lblock) {
+  cover(lblock + 1);
+  std::uint64_t& w = bits[lblock / 64];
+  const std::uint64_t mask = 1ull << (lblock % 64);
+  if (w & mask) return false;
+  w |= mask;
+  return true;
+}
+
+bool CacheFileInfo::clear(std::uint64_t lblock) noexcept {
+  const std::uint64_t word = lblock / 64;
+  if (word >= bits.size()) return false;
+  const std::uint64_t mask = 1ull << (lblock % 64);
+  if (!(bits[word] & mask)) return false;
+  bits[word] &= ~mask;
+  return true;
+}
+
+std::uint64_t CacheFileInfo::popcount() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint64_t w : bits) n += static_cast<std::uint64_t>(std::popcount(w));
+  return n;
+}
+
+std::uint64_t CacheFileInfo::clamp(std::uint64_t blocks) noexcept {
+  std::uint64_t dropped = 0;
+  for (std::uint64_t b = blocks; b < block_count; ++b) {
+    if (clear(b)) ++dropped;
+  }
+  if (block_count > blocks) block_count = blocks;
+  return dropped;
+}
+
+std::vector<std::byte> encode(const CacheFileInfo& info) {
+  std::vector<std::uint64_t> words(kHeaderWords + info.bits.size(), 0);
+  words[0] = kInfoMagic;
+  words[1] = info.ino;
+  words[2] = info.generation;
+  words[3] = info.block_count;
+  words[4] = info.bits.size();
+  for (std::size_t i = 0; i < info.bits.size(); ++i) words[kHeaderWords + i] = info.bits[i];
+  // Hash everything but the checksum slot itself (header words 0..4 plus
+  // the bitmap), then drop the sum into the slot.
+  const std::uint64_t bitmap_sum =
+      info_checksum(words.data() + kHeaderWords, info.bits.size());
+  words[kChecksumWord] = info_checksum(words.data(), kChecksumWord) ^ bitmap_sum;
+
+  std::vector<std::byte> out(words.size() * sizeof(std::uint64_t));
+  std::memcpy(out.data(), words.data(), out.size());
+  return out;
+}
+
+std::optional<CacheFileInfo> decode(const std::byte* data, std::size_t size) {
+  if (size < kHeaderWords * sizeof(std::uint64_t) || size % sizeof(std::uint64_t) != 0) {
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> words(size / sizeof(std::uint64_t));
+  std::memcpy(words.data(), data, size);
+  if (words[0] != kInfoMagic) return std::nullopt;
+  const std::uint64_t word_count = words[4];
+  if (words.size() != kHeaderWords + word_count) return std::nullopt;
+  const std::uint64_t expect = info_checksum(words.data(), kChecksumWord) ^
+                               info_checksum(words.data() + kHeaderWords, word_count);
+  if (words[kChecksumWord] != expect) return std::nullopt;  // torn write
+
+  CacheFileInfo info;
+  info.ino = static_cast<std::uint32_t>(words[1]);
+  info.generation = words[2];
+  info.block_count = words[3];
+  info.bits.assign(words.begin() + kHeaderWords, words.end());
+  return info;
+}
+
+}  // namespace ppfs::cache

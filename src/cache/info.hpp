@@ -1,0 +1,65 @@
+// CacheFileInfo — the per-file downloaded-block bitmap of the second-tier
+// block cache (the xrootd CacheFileInfo model).
+//
+// One instance tracks which logical blocks of one UFS file are resident in
+// the tier. The bitmap is what survives a crash: it is journaled through
+// the simulated cache device as a fixed-layout entry
+//
+//   [ magic | ino | generation | block_count | word_count | checksum ]
+//   [ bitmap words ... ]
+//
+// with an FNV-1a checksum over everything but the checksum word itself.
+// A crash mid-write leaves a torn entry whose checksum no longer matches;
+// decode() refuses it, which is how recovery and fsck detect torn writes
+// without any out-of-band flag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ppfs::cache {
+
+using sim::ByteCount;
+
+/// Journal entry magic ("PPFSCACH" as a little-endian word).
+inline constexpr std::uint64_t kInfoMagic = 0x5050465343414348ull;
+
+struct CacheFileInfo {
+  std::uint32_t ino = 0;         // owning UFS inode number
+  std::uint64_t generation = 0;  // inode generation stamped at first insert
+  std::uint64_t block_count = 0; // logical blocks the bitmap covers
+  std::vector<std::uint64_t> bits;
+
+  /// Grow the bitmap to cover at least `blocks` logical blocks.
+  void cover(std::uint64_t blocks);
+
+  bool test(std::uint64_t lblock) const noexcept {
+    const std::uint64_t w = lblock / 64;
+    // ppfs::hot — tier residency probe, one per block on every served read
+    return w < bits.size() && (bits[w] >> (lblock % 64)) & 1ull;
+    // ppfs::endhot
+  }
+  /// Returns true if the bit was newly set.
+  bool set(std::uint64_t lblock);
+  /// Returns true if the bit was set before clearing.
+  bool clear(std::uint64_t lblock) noexcept;
+  std::uint64_t popcount() const noexcept;
+  /// Clear every bit at or beyond `blocks`; returns how many were dropped.
+  std::uint64_t clamp(std::uint64_t blocks) noexcept;
+};
+
+/// Serialize to the on-"disk" journal layout (header + bitmap words).
+std::vector<std::byte> encode(const CacheFileInfo& info);
+
+/// Parse a journal entry. Returns nullopt for torn or foreign payloads
+/// (bad magic, short buffer, or checksum mismatch).
+std::optional<CacheFileInfo> decode(const std::byte* data, std::size_t size);
+
+/// FNV-1a over a word sequence — the torn-write detector.
+std::uint64_t info_checksum(const std::uint64_t* words, std::size_t count) noexcept;
+
+}  // namespace ppfs::cache

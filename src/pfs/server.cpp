@@ -26,14 +26,55 @@ void PfsServer::crash() {
   if (down_) return;
   down_ = true;
   ++crash_epoch_;
+  // The tier's volatile residency dies with the daemon; any journal write
+  // caught in flight is torn on the cache device.
+  if (auto* tier = ufs_.cache_tier()) tier->on_crash();
   if (topology_epoch_) ++*topology_epoch_;
   up_ev_.reset();
 }
 
 void PfsServer::restore() {
   if (!down_) return;
+  if (ufs_.cache_tier() == nullptr) {
+    // No tier: the original synchronous restart (bit-identical schedules).
+    down_ = false;
+    ufs_.drop_caches();  // restart comes back cold
+    if (topology_epoch_) ++*topology_epoch_;
+    up_ev_.set();
+    return;
+  }
+  if (recovering_) return;  // a recovery pass for this outage already runs
+  recovering_ = true;
+  machine_.simulation().spawn(recover_and_come_up());
+}
+
+sim::Task<void> PfsServer::recover_and_come_up() {
+  cache::CacheTier* tier = ufs_.cache_tier();
+  const std::uint64_t epoch = crash_epoch_;
+  const std::uint64_t recovered_before = tier->stats().recovered_blocks;
+  std::uint64_t span = 0;
+  if (trace::TraceSink* sink = machine_.simulation().trace()) {
+    span = sink->new_span();
+    sink->record(trace::TraceRecord(machine_.simulation().now(), trace::TraceKind::kSpanBegin,
+                                    trace::TraceTrack::kServer, trace::code::kRecovery,
+                                    io_index_, span, 0, epoch));
+  }
+  co_await tier->recover();
+  if (span != 0) {
+    if (trace::TraceSink* sink = machine_.simulation().trace()) {
+      sink->record(trace::TraceRecord(machine_.simulation().now(), trace::TraceKind::kSpanEnd,
+                                      trace::TraceTrack::kServer, trace::code::kRecovery,
+                                      io_index_, span,
+                                      tier->stats().recovered_blocks - recovered_before,
+                                      epoch));
+    }
+  }
+  recovering_ = false;
+  // crash() is a no-op while down, so the epoch cannot have moved — but if
+  // it ever does, stay down rather than come up on a dead epoch's state.
+  if (crash_epoch_ != epoch || !down_) co_return;
   down_ = false;
-  ufs_.drop_caches();  // restart comes back cold
+  ufs_.drop_caches();  // the first-tier buffer cache is still cold
   if (topology_epoch_) ++*topology_epoch_;
   up_ev_.set();
 }

@@ -102,12 +102,19 @@ class PfsServer {
   // --- crash/restart fault model ---
   /// Take the I/O daemon down. Requests arriving while down fail with
   /// FaultError(kNodeDown); requests already in service lose their reply
-  /// (the crash epoch changes under them).
+  /// (the crash epoch changes under them). With the cache tier enabled the
+  /// crash also tears any in-flight journal write and drops the tier's
+  /// volatile residency.
   void crash();
   /// Restart the daemon: the node comes back with a cold buffer cache and
-  /// wakes every client parked on up_event().
+  /// wakes every client parked on up_event(). With the cache tier enabled
+  /// the daemon first replays the tier's journal (a timed recovery pass,
+  /// traced as a kServer/kRecovery span) and only then serves requests —
+  /// warm blocks survive into the new epoch.
   void restore();
   bool down() const noexcept { return down_; }
+  /// True while a tier-journal recovery pass is replaying after restore().
+  bool recovering() const noexcept { return recovering_; }
   /// Set while the server is up; reset during an outage. Clients bound
   /// their recovery wait on this with wait_with_timeout.
   sim::Event& up_event() noexcept { return up_ev_; }
@@ -157,6 +164,9 @@ class PfsServer {
   /// batch (contiguous blocks merge into single device transfers).
   sim::Task<void> serve_sorted(std::vector<QueuedIo*> group);
   std::uint64_t phys_key(const QueuedIo& item) const;
+  /// Replay the cache tier's journal, then bring the daemon up (detached;
+  /// spawned by restore() when the tier is enabled).
+  sim::Task<void> recover_and_come_up();
 
   hw::Machine& machine_;
   int io_index_;
@@ -167,6 +177,7 @@ class PfsServer {
   ufs::Ufs ufs_;
   std::uint64_t requests_ = 0;
   bool down_ = false;
+  bool recovering_ = false;
   std::uint64_t crash_epoch_ = 0;
   sim::Event up_ev_;
   std::uint64_t* topology_epoch_ = nullptr;

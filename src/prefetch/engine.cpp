@@ -128,6 +128,18 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
   auto& list = st.list;
 
   auto buf = list.find(off, len);
+  if (buf && buf->epoch != client_.filesystem().topology_epoch()) {
+    // The buffer was issued before a crash/restart changed the mount
+    // topology. Even if its ART completed, the reply crossed a dead epoch —
+    // discard rather than hand possibly-pre-crash bytes to the reader.
+    list.remove(buf);
+    occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
+    retire(buf);
+    ++stats_.epoch_discarded;
+    if (auto* a = auditor()) a->on_buffer_discarded(this);
+    trace_instant(trace::code::kPrefetchShed, off, len);
+    buf = nullptr;
+  }
   if (!buf) {
     // Wrong-prediction hygiene: anything overlapping this read but not
     // matching it exactly will never hit; free it now.
@@ -231,6 +243,7 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
     auto buf = std::make_shared<PrefetchBuffer>();
     buf->offset = p;
     buf->length = len;
+    buf->epoch = client_.filesystem().topology_epoch();
     buf->data.resize(len);
     // The posted request travels the same positioned-read path as user
     // I/O, so when extent coalescing / server batching are enabled the

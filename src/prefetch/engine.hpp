@@ -67,6 +67,7 @@ struct PrefetchStats {
   std::uint64_t wasted = 0;          // never-consumed buffers freed at close
   std::uint64_t throttled_skips = 0; // prefetches suppressed by the throttle
   std::uint64_t shed = 0;            // buffers dropped on fault activity
+  std::uint64_t epoch_discarded = 0; // dead-epoch buffers refused at serve time
   std::uint64_t fault_pauses = 0;    // times speculation was paused by faults
   std::uint64_t fault_skips = 0;     // reads that issued no prefetch while paused
   sim::ByteCount bytes_prefetched = 0;

@@ -26,6 +26,10 @@ using sim::FileOffset;
 struct PrefetchBuffer {
   FileOffset offset = 0;   // PFS file offset of the data
   ByteCount length = 0;    // size of the data in bytes
+  /// Mount topology epoch when the prefetch was issued. A crash or restart
+  /// bumps the epoch; a buffer stamped in a dead epoch must never be served
+  /// (its bytes may predate the crash) — try_serve discards it instead.
+  std::uint64_t epoch = 0;
   std::vector<std::byte> data;  // compute-node memory holding the block
   pfs::AsyncHandle request;     // the asynchronous request that fills it
 

@@ -36,6 +36,7 @@ const char* to_string(Violation v) noexcept {
     case Violation::kBufferConservation: return "buffer-conservation";
     case Violation::kFaultConservation: return "fault-conservation";
     case Violation::kCoalesceConservation: return "coalesce-conservation";
+    case Violation::kCacheBitmapConservation: return "cache-bitmap-conservation";
   }
   return "unknown";
 }
@@ -220,6 +221,42 @@ void Auditor::check_fault_conservation(SimTime now, bool in_destructor) {
   }
 }
 
+// --- cache-tier bitmap conservation -----------------------------------------
+
+void Auditor::on_cache_bit_set(const void* owner, std::uint64_t n) {
+  cache_bits_[owner].set += n;
+}
+
+void Auditor::on_cache_bit_cleared(const void* owner, std::uint64_t n) {
+  auto& l = cache_bits_[owner];
+  l.cleared += n;
+  if (l.cleared > l.set) {
+    report(sim_.now(), Violation::kCacheBitmapConservation,
+           "cache bit cleared that was never accounted as set");
+  }
+}
+
+void Auditor::check_cache_bitmap_conservation(SimTime now, const void* owner,
+                                              std::uint64_t resident, bool in_destructor) {
+  auto it = cache_bits_.find(owner);
+  if (it == cache_bits_.end()) {
+    if (resident != 0) {
+      report(now, Violation::kCacheBitmapConservation,
+             std::to_string(resident) + " resident bit(s) on a tier with no ledger",
+             /*may_throw=*/!in_destructor);
+    }
+    return;
+  }
+  const CacheLedger l = it->second;
+  if (in_destructor) cache_bits_.erase(it);
+  if (l.set != l.cleared + resident) {
+    report(now, Violation::kCacheBitmapConservation,
+           "set=" + std::to_string(l.set) + " != cleared=" + std::to_string(l.cleared) +
+               " + resident=" + std::to_string(resident),
+           /*may_throw=*/!in_destructor);
+  }
+}
+
 // --- coalesced-RPC conservation ---------------------------------------------
 
 void Auditor::check_coalesce_conservation(SimTime now, ByteCount expected,
@@ -279,6 +316,10 @@ void Auditor::fire_injection(SimTime now) {
     case Violation::kCoalesceConservation:
       // A scatter that dropped one byte of its merged ranges.
       check_coalesce_conservation(now, /*expected=*/1, /*delivered=*/0);
+      break;
+    case Violation::kCacheBitmapConservation:
+      on_cache_bit_set(this, 1);  // set, never cleared, not resident
+      check_cache_bitmap_conservation(now, this, /*resident=*/0);
       break;
   }
 }

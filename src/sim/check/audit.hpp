@@ -59,6 +59,7 @@ enum class Violation : std::uint8_t {
   kBufferConservation,  // allocated != consumed + discarded + freed-at-close
   kFaultConservation,   // observed != retried-ok + reconstructed + terminal
   kCoalesceConservation,  // coalesced RPC delivered != the union of its extents
+  kCacheBitmapConservation,  // tier bits set != cleared + currently resident
 };
 
 const char* to_string(Violation v) noexcept;
@@ -147,6 +148,20 @@ class Auditor {
   /// requests are in flight (end of run / teardown).
   void check_fault_conservation(SimTime now, bool in_destructor = false);
 
+  // --- cache-tier bitmap conservation (per owning tier) ---
+  //
+  // Every residency bit a second-tier cache sets must be accounted for:
+  // either it was cleared again (eviction, crash loss, fsck repair) or it is
+  // still resident. `set` counts both fresh inserts and journal-recovered
+  // bits; a recovered bit is a new volatile set (the crash cleared the old
+  // one), so the ledger balances across crash/restart epochs.
+  void on_cache_bit_set(const void* owner, std::uint64_t n = 1);
+  void on_cache_bit_cleared(const void* owner, std::uint64_t n = 1);
+  /// Verify set == cleared + resident for this tier. Call when the tier is
+  /// quiescent (end of run, or its destructor).
+  void check_cache_bitmap_conservation(SimTime now, const void* owner,
+                                       std::uint64_t resident, bool in_destructor = false);
+
   // --- coalesced-RPC conservation ---
   //
   // A scatter-gather RPC must deliver exactly the union of its merged block
@@ -176,6 +191,11 @@ class Auditor {
     std::uint64_t disposed() const { return consumed + discarded + freed_at_close; }
   };
 
+  struct CacheLedger {
+    std::uint64_t set = 0;
+    std::uint64_t cleared = 0;
+  };
+
   void report(SimTime now, Violation kind, std::string detail, bool may_throw = true);
   void tick_injection(SimTime now);
   void fire_injection(SimTime now);
@@ -189,6 +209,8 @@ class Auditor {
   std::unordered_map<const void*, std::int64_t> resource_outstanding_;
   // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
   std::unordered_map<const void*, BufferLedger> buffers_;
+  // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
+  std::unordered_map<const void*, CacheLedger> cache_bits_;
   FaultLedger faults_;
   std::vector<ViolationRecord> violations_;
 

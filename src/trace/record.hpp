@@ -54,8 +54,11 @@ inline constexpr std::uint8_t kDiskRead = 0;
 inline constexpr std::uint8_t kDiskWrite = 1;
 // kDisk instant: transient error consumed mid-service.
 inline constexpr std::uint8_t kDiskTransient = 2;
-// kServer span: one elevator sweep over a queued batch (a = extents).
+// kServer spans: one elevator sweep over a queued batch (a = extents), and
+// one crash-recovery replay of the cache tier's journal (a = blocks
+// recovered, b = crash epoch).
 inline constexpr std::uint8_t kBatchSweep = 0;
+inline constexpr std::uint8_t kRecovery = 1;
 // kRpc spans: issue->reply envelopes, class-tagged to mirror RpcStats'
 // per-class counters (a = payload bytes, b = peer node / io index).
 inline constexpr std::uint8_t kRpcData = 0;

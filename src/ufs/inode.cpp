@@ -32,7 +32,7 @@ void BlockAllocator::free(std::uint64_t block) {
 InodeNum InodeTable::create(const std::string& name) {
   if (directory_.count(name)) throw std::invalid_argument("InodeTable: file exists: " + name);
   const InodeNum ino = next_ino_++;
-  inodes_[ino] = Inode{ino, 0, {}};
+  inodes_[ino] = Inode{ino, next_generation_++, 0, {}};
   directory_[name] = ino;
   return ino;
 }

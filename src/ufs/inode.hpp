@@ -24,6 +24,10 @@ inline constexpr InodeNum kInvalidInode = 0;
 
 struct Inode {
   InodeNum ino = kInvalidInode;
+  /// Monotonic per-table stamp assigned at create(). Distinguishes "this
+  /// file" from "a different file that later reused the ino" — which is what
+  /// the cache tier's journal entries key against to detect staleness.
+  std::uint64_t generation = 0;
   sim::ByteCount size = 0;                 // logical file size in bytes
   std::vector<std::uint64_t> blocks;       // logical block -> physical block
 };
@@ -65,6 +69,7 @@ class InodeTable {
 
  private:
   InodeNum next_ino_ = 1;
+  std::uint64_t next_generation_ = 1;
   std::map<InodeNum, Inode> inodes_;
   std::map<std::string, InodeNum> directory_;
 };

@@ -38,6 +38,17 @@ Ufs::Ufs(sim::Simulation& s, std::string name, BlockDevice& device, ContentStore
   if (params_.block_bytes % device.sector_bytes() != 0) {
     throw std::invalid_argument("Ufs: block size must be a multiple of the sector size");
   }
+  if (params_.cache_tier.enabled) {
+    params_.cache_tier.block_bytes = params_.block_bytes;
+    tier_ = std::make_unique<cache::CacheTier>(
+        sim_, name_ + "-tier", params_.cache_tier,
+        [this](std::uint32_t ino) -> std::uint64_t {
+          return inodes_.exists(ino) ? inodes_.get(ino).generation : 0;
+        },
+        [this](std::uint32_t ino) -> std::uint64_t {
+          return inodes_.exists(ino) ? inodes_.get(ino).blocks.size() : 0;
+        });
+  }
 }
 
 void Ufs::remove(const std::string& fname) {
@@ -47,6 +58,9 @@ void Ufs::remove(const std::string& fname) {
     cache_.invalidate(phys);
     allocator_.free(phys);
   }
+  // The freed physical blocks can be reallocated to another file; the tier
+  // must stop serving (and journaling) residency for the dead inode.
+  if (tier_) tier_->fsck_drop(ino);
   inodes_.remove(fname);
 }
 
@@ -106,13 +120,34 @@ sim::Task<ByteCount> Ufs::read_fastpath(const Inode& node, FileOffset off, ByteC
   auto runs = contiguous_runs(node, first_block, block_count);
 
   ByteCount done = 0;
+  std::uint64_t lbase = first_block;  // runs cover consecutive logical blocks
   for (const Run& run : runs) {
     const ByteCount run_bytes = run.count * params_.block_bytes;
-    co_await device_.transfer(block_to_sector(run.phys_first), run_bytes, /*write=*/false);
-    content_.read(device_offset(run.phys_first, 0), out.subspan(done, run_bytes));
-    ++stats_.disk_runs;
-    if (run.count > 1) stats_.coalesced_blocks += run.count;
+    bool warm = tier_ != nullptr;
+    for (std::uint64_t b = 0; warm && b < run.count; ++b) {
+      warm = tier_->resident(node.ino, lbase + b);
+    }
+    if (warm) {
+      // Every block of the run is tier-resident: serve at cache-device
+      // speed. Bytes still come from the content store — the tier is
+      // write-through, so the store is the truth for its blocks too.
+      for (std::uint64_t b = 0; b < run.count; ++b) tier_->note_hit(node.ino, lbase + b);
+      co_await tier_->read_hit(run.count);
+      content_.read(device_offset(run.phys_first, 0), out.subspan(done, run_bytes));
+    } else {
+      co_await device_.transfer(block_to_sector(run.phys_first), run_bytes, /*write=*/false);
+      content_.read(device_offset(run.phys_first, 0), out.subspan(done, run_bytes));
+      ++stats_.disk_runs;
+      if (run.count > 1) stats_.coalesced_blocks += run.count;
+      if (tier_) {
+        tier_->note_miss_blocks(run.count);
+        for (std::uint64_t b = 0; b < run.count; ++b) {
+          tier_->insert(node.ino, node.generation, lbase + b);
+        }
+      }
+    }
     done += run_bytes;
+    lbase += run.count;
   }
   co_return done;
 }
@@ -136,6 +171,9 @@ sim::Task<void> Ufs::read_sorted(std::span<BatchRead> items) {
   struct BlockRef {
     std::uint64_t phys;
     std::byte* dst;
+    InodeNum ino;
+    std::uint64_t generation;
+    std::uint64_t lblock;
   };
   std::vector<BlockRef> refs;
   for (BatchRead& item : items) {
@@ -147,8 +185,9 @@ sim::Task<void> Ufs::read_sorted(std::span<BatchRead> items) {
     const std::uint64_t first = item.off / params_.block_bytes;
     const std::uint64_t count = item.len / params_.block_bytes;
     for (std::uint64_t i = 0; i < count; ++i) {
-      refs.push_back(
-          BlockRef{node.blocks.at(first + i), item.out.data() + i * params_.block_bytes});
+      refs.push_back(BlockRef{node.blocks.at(first + i),
+                              item.out.data() + i * params_.block_bytes, node.ino,
+                              node.generation, first + i});
     }
   }
   std::stable_sort(refs.begin(), refs.end(),
@@ -168,14 +207,29 @@ sim::Task<void> Ufs::read_sorted(std::span<BatchRead> items) {
       ++j;
     }
     const std::uint64_t run_count = refs[j - 1].phys - refs[i].phys + 1;
-    co_await device_.transfer(block_to_sector(refs[i].phys),
-                              run_count * params_.block_bytes, /*write=*/false);
+    bool warm = tier_ != nullptr;
+    for (std::size_t k = i; warm && k < j; ++k) {
+      warm = tier_->resident(refs[k].ino, refs[k].lblock);
+    }
+    if (warm) {
+      for (std::size_t k = i; k < j; ++k) tier_->note_hit(refs[k].ino, refs[k].lblock);
+      co_await tier_->read_hit(j - i);
+    } else {
+      co_await device_.transfer(block_to_sector(refs[i].phys),
+                                run_count * params_.block_bytes, /*write=*/false);
+      ++stats_.disk_runs;
+      if (run_count > 1) stats_.coalesced_blocks += run_count;
+      if (tier_) {
+        tier_->note_miss_blocks(j - i);
+        for (std::size_t k = i; k < j; ++k) {
+          tier_->insert(refs[k].ino, refs[k].generation, refs[k].lblock);
+        }
+      }
+    }
     for (std::size_t k = i; k < j; ++k) {
       content_.read(device_offset(refs[k].phys, 0),
                     std::span<std::byte>(refs[k].dst, params_.block_bytes));
     }
-    ++stats_.disk_runs;
-    if (run_count > 1) stats_.coalesced_blocks += run_count;
     i = j;
   }
 }
@@ -189,7 +243,23 @@ sim::Task<ByteCount> Ufs::read_buffered(const Inode& node, FileOffset off, ByteC
     const ByteCount in_block = pos % params_.block_bytes;
     const ByteCount n = std::min<ByteCount>(len - done, params_.block_bytes - in_block);
     const std::uint64_t phys = node.blocks.at(lblock);
+    if (tier_ && !cache_.contains(phys)) {
+      if (tier_->resident(node.ino, lblock)) {
+        // Buffer-cache miss but tier-resident: serve from the second tier
+        // at cache-device speed instead of filling from the RAID path.
+        tier_->note_hit(node.ino, lblock);
+        co_await tier_->read_hit(1);
+        content_.read(device_offset(phys, in_block), out.subspan(done, n));
+        if (cpu_) co_await cpu_->copy(n);
+        done += n;
+        continue;
+      }
+      tier_->note_miss_blocks(1);
+    }
     co_await cache_.read(phys, in_block, out.subspan(done, n));
+    // A block that just travelled the disk path populates the second tier
+    // (write-through for reads: the fill is what makes it warm).
+    if (tier_) tier_->insert(node.ino, node.generation, lblock);
     // The buffered path stages data in the cache and copies the requested
     // bytes to the caller's buffer; that copy burns I/O-node CPU.
     if (cpu_) co_await cpu_->copy(n);
@@ -245,6 +315,7 @@ sim::Task<void> Ufs::write(InodeNum ino, FileOffset off, std::span<const std::by
     const std::uint64_t block_count = in.size() / params_.block_bytes;
     auto runs = contiguous_runs(node, first_block, block_count);
     ByteCount done = 0;
+    std::uint64_t lbase = first_block;
     for (const Run& run : runs) {
       const ByteCount run_bytes = run.count * params_.block_bytes;
       content_.write(device_offset(run.phys_first, 0), in.subspan(done, run_bytes));
@@ -253,7 +324,14 @@ sim::Task<void> Ufs::write(InodeNum ino, FileOffset off, std::span<const std::by
       co_await device_.transfer(block_to_sector(run.phys_first), run_bytes, /*write=*/true);
       ++stats_.disk_runs;
       if (run.count > 1) stats_.coalesced_blocks += run.count;
+      // Write-through population: written blocks are warm in the tier.
+      if (tier_) {
+        for (std::uint64_t b = 0; b < run.count; ++b) {
+          tier_->insert(node.ino, node.generation, lbase + b);
+        }
+      }
       done += run_bytes;
+      lbase += run.count;
     }
     co_return;
   }
@@ -267,6 +345,7 @@ sim::Task<void> Ufs::write(InodeNum ino, FileOffset off, std::span<const std::by
         std::min<ByteCount>(in.size() - done, params_.block_bytes - in_block);
     const std::uint64_t phys = node.blocks.at(lblock);
     co_await cache_.write(phys, in_block, in.subspan(done, n));
+    if (tier_) tier_->insert(node.ino, node.generation, lblock);
     if (cpu_) co_await cpu_->copy(n);
     done += n;
   }

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cache/tier.hpp"
 #include "hw/node.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -46,6 +48,10 @@ struct UfsParams {
   /// Fast Path bypasses the cache by design) and it cannot see the
   /// per-compute-node interleave the client-side engine exploits.
   std::uint32_t readahead_blocks = 0;
+  /// Persistent second-tier block cache (off by default; when off the data
+  /// path is bit-identical to a build without the tier). block_bytes is
+  /// forced to match the UFS block size at construction.
+  cache::CacheTierParams cache_tier{};
 };
 
 struct UfsStats {
@@ -74,6 +80,11 @@ class Ufs {
   void remove(const std::string& name);
   const Inode& inode_of(InodeNum ino) const { return inodes_.get(ino); }
   ByteCount file_size(InodeNum ino) const { return inodes_.get(ino).size; }
+  /// The flat directory (name -> ino) — the truth table ppfs_fsck audits
+  /// the cache-tier journal against.
+  const std::map<std::string, InodeNum>& directory() const noexcept {
+    return inodes_.directory();
+  }
 
   // --- data path ---
   /// Read up to len bytes at off into out (out.size() >= len). Returns the
@@ -114,8 +125,12 @@ class Ufs {
   const BufferCache& cache() const noexcept { return cache_; }
 
   /// Crash/restart support: the restarted I/O node comes back with a cold
-  /// buffer cache.
+  /// buffer cache. The second-tier cache is NOT dropped here — its journal
+  /// survives the crash and CacheTier::on_crash/recover model what persists.
   void drop_caches() { cache_.clear(); }
+  /// The persistent second tier, or nullptr when not enabled.
+  cache::CacheTier* cache_tier() noexcept { return tier_.get(); }
+  const cache::CacheTier* cache_tier() const noexcept { return tier_.get(); }
   const std::string& name() const noexcept { return name_; }
   std::uint64_t total_blocks() const noexcept { return allocator_.total_blocks(); }
   std::uint64_t free_blocks() const noexcept { return allocator_.free_blocks(); }
@@ -163,6 +178,7 @@ class Ufs {
   InodeTable inodes_;
   BlockAllocator allocator_;
   BufferCache cache_;
+  std::unique_ptr<cache::CacheTier> tier_;  // null when the tier is off
   UfsStats stats_;
 };
 

@@ -136,7 +136,8 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
 
 }  // namespace
 
-ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) const {
+ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
+                                 const PostRunHook& post_run) const {
   if (w.request_size == 0) throw std::invalid_argument("Experiment: zero request size");
   const int N = spec_.ncompute;
 
@@ -285,9 +286,11 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) 
       res.prefetch.bytes_served += st.bytes_served;
       res.prefetch.wait_time += st.wait_time;
       res.prefetch.shed += st.shed;
+      res.prefetch.epoch_discarded += st.epoch_discarded;
       res.prefetch.fault_pauses += st.fault_pauses;
       res.prefetch.fault_skips += st.fault_skips;
       res.faults.shed_prefetches += st.shed;
+      res.faults.stale_epoch_discards += st.epoch_discarded;
     }
     const auto& rpc = clients[r]->rpc_stats();
     res.data_rpcs += rpc.data_rpcs;
@@ -316,7 +319,38 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) 
     for (std::size_t m = 0; m < raid.member_count(); ++m) {
       res.faults.disk_transients += raid.member(m).transient_errors_fired();
     }
+    if (auto* tier = fs.server(io).ufs().cache_tier()) {
+      const auto& cs = tier->stats();
+      res.cache_lookups += cs.lookups;
+      res.cache_hits += cs.hits;
+      res.cache_inserts += cs.inserts;
+      res.cache_evictions += cs.evictions;
+      res.cache_journal_flushes += cs.journal_flushes;
+      res.cache_recoveries += cs.recoveries;
+      res.cache_recovered_blocks += cs.recovered_blocks;
+      res.cache_torn_dropped += cs.torn_entries_dropped;
+      res.cache_stale_dropped += cs.stale_entries_dropped;
+      res.cache_recovery_time += cs.total_recovery_time;
+      if (cs.recoveries > 0) {
+        // Warm-restart quality: only servers that actually replayed a
+        // journal contribute (an uncrashed node's hits are just tier hits).
+        res.cache_warm_lookups += cs.warm_lookups;
+        res.cache_warm_hits += cs.warm_hits;
+      }
+      res.faults.node_recoveries += cs.recoveries;
+      res.faults.node_recovery_time += cs.total_recovery_time;
+      // Every bit ever set in this tier is now resident or was accounted
+      // as cleared — the cache analogue of buffer conservation.
+      if (auto* a = sim.auditor()) {
+        a->check_cache_bitmap_conservation(sim.now(), tier, tier->resident_blocks());
+      }
+    }
   }
+  res.cache_warm_hit_ratio =
+      res.cache_warm_lookups
+          ? static_cast<double>(res.cache_warm_hits) /
+                static_cast<double>(res.cache_warm_lookups)
+          : 0.0;
   // With the run drained, the fault ledger must balance: every manifested
   // fault was healed by retry, repaired by reconstruction, or is terminal.
   if (auto* a = sim.auditor()) a->check_fault_conservation(sim.now());
@@ -330,6 +364,9 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink) 
   res.wall_bw_mbs = sim::megabytes_per_second(res.total_bytes, res.wall_elapsed);
   res.digest = sim.digest();
   res.events_dispatched = sim.events_dispatched();
+  // The post-run hook sees the live mount (fsck audits, corruption
+  // injection for tests) after metrics are final but before teardown.
+  if (post_run) post_run(fs);
   return res;
 }
 

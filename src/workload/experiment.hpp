@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,23 @@ struct ExperimentResult {
   /// healthy run with an empty plan).
   fault::FaultSummary faults;
 
+  /// Second-tier cache counters summed across I/O nodes (all zero when the
+  /// tier is off). The warm-restart ratio covers only servers that actually
+  /// ran a recovery pass — it is the post-restart service quality.
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_journal_flushes = 0;
+  std::uint64_t cache_recoveries = 0;
+  std::uint64_t cache_recovered_blocks = 0;
+  std::uint64_t cache_torn_dropped = 0;
+  std::uint64_t cache_stale_dropped = 0;
+  std::uint64_t cache_warm_lookups = 0;
+  std::uint64_t cache_warm_hits = 0;
+  double cache_warm_hit_ratio = 0;
+  sim::SimTime cache_recovery_time = 0;  // summed journal-replay time
+
   /// SimCheck determinism digest of the whole run (populate + read phase):
   /// the kernel's FNV-1a hash over every dispatched event. Two runs of the
   /// same spec must agree bit-for-bit — see ppfs_run --selfcheck.
@@ -97,12 +115,21 @@ class Experiment {
  public:
   explicit Experiment(MachineSpec spec = {}) : spec_(spec) {}
 
+  /// Called after the run drains but before the machine is torn down, with
+  /// the live mount — the hook ppfs_fsck and the recovery tests use to
+  /// audit/corrupt the cache tiers while they still exist.
+  using PostRunHook = std::function<void(pfs::PfsFileSystem&)>;
+
   ExperimentResult run(const WorkloadSpec& w) const { return run(w, nullptr); }
 
   /// Same, with a TraceScope sink attached to the simulation for the whole
   /// run (populate + read phase). The sink only observes — digests are
   /// bit-identical with tracing on or off. nullptr = tracing off.
-  ExperimentResult run(const WorkloadSpec& w, trace::TraceSink* sink) const;
+  ExperimentResult run(const WorkloadSpec& w, trace::TraceSink* sink) const {
+    return run(w, sink, nullptr);
+  }
+  ExperimentResult run(const WorkloadSpec& w, trace::TraceSink* sink,
+                       const PostRunHook& post_run) const;
 
   /// Paper Table 2: the access time of a single read call of this size in
   /// the standard collective (no prefetch, no delays) setting.

@@ -127,6 +127,10 @@ the paper's metrics.
                         elevator sweep per disk pass
   --buffered            disable Fast Path (reads via server caches)
   --readahead <n>       server-side readahead blocks        (default 0)
+  --cache-tier          persistent second-tier block cache on each I/O node
+                        (crash-safe journal; survives --faults crash events)
+  --cache-tier-blocks <n>  tier capacity in blocks (implies --cache-tier;
+                        default 1024)
   --separate-files      each node reads a private file
   --own-region          M_UNIX/M_ASYNC scan own region instead of interleave
   --verify              check every byte against the written pattern
@@ -234,6 +238,13 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--readahead") {
       opt.machine.pfs.ufs.readahead_blocks =
           static_cast<std::uint32_t>(parse_count(a, need_value(i, a), 0));
+      ++i;
+    } else if (a == "--cache-tier") {
+      opt.machine.pfs.ufs.cache_tier.enabled = true;
+    } else if (a == "--cache-tier-blocks") {
+      opt.machine.pfs.ufs.cache_tier.enabled = true;
+      opt.machine.pfs.ufs.cache_tier.capacity_blocks =
+          static_cast<std::uint64_t>(parse_count(a, need_value(i, a), 1));
       ++i;
     } else if (a == "--separate-files") {
       opt.workload.separate_files = true;

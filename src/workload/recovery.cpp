@@ -1,0 +1,29 @@
+#include "workload/recovery.hpp"
+
+#include "pfs/filesystem.hpp"
+#include "ufs/ufs.hpp"
+
+namespace ppfs::workload {
+
+std::vector<cache::FsckShard> make_fsck_shards(pfs::PfsFileSystem& fs) {
+  std::vector<cache::FsckShard> shards;
+  for (int io = 0; io < fs.server_count(); ++io) {
+    ufs::Ufs& u = fs.server(io).ufs();
+    cache::CacheTier* tier = u.cache_tier();
+    if (!tier) continue;
+    cache::FsckShard shard;
+    shard.tier = tier;
+    shard.label = u.name();
+    for (const auto& [name, ino] : u.directory()) {
+      (void)name;
+      const ufs::Inode& node = u.inode_of(ino);
+      shard.files.push_back(cache::FsckFileTruth{
+          node.ino, node.generation,
+          static_cast<std::uint64_t>(node.blocks.size())});
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace ppfs::workload

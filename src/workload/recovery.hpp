@@ -1,0 +1,23 @@
+// Bridges the live mount to ppfs_fsck: per-I/O-node shards pairing each
+// server's cache tier with the UFS directory it must agree with. The shard
+// list is what run_fsck audits (and inject_corruptions perturbs) — built
+// inside an Experiment post-run hook, while the machine still exists.
+#pragma once
+
+#include <vector>
+
+#include "cache/fsck.hpp"
+
+namespace ppfs::pfs {
+class PfsFileSystem;
+}
+
+namespace ppfs::workload {
+
+/// One shard per I/O node whose cache tier is enabled (empty when the tier
+/// is off mount-wide). Truth tables are snapshots: ino -> {generation,
+/// block count} from each server's UFS inode table. Shard labels are the
+/// UFS instance names ("ufs0", ...), so reports are stable across runs.
+std::vector<cache::FsckShard> make_fsck_shards(pfs::PfsFileSystem& fs);
+
+}  // namespace ppfs::workload

@@ -1,0 +1,35 @@
+// Deliberately-bad fixture for the hot-region-alloc rule on the cache tier's
+// data path. NEVER compiled. The real tier marks its residency probe
+// (CacheFileInfo::test, one call per block on every served read) as a
+// `// ppfs::hot` region; this fixture commits the allocations that rule
+// exists to keep out of that probe.
+#include <functional>
+#include <map>
+#include <string>
+
+namespace ppfs::bad {
+
+// ppfs::hot — pretend per-block tier residency probe
+inline bool tier_resident(unsigned ino, unsigned long long lblock) {
+  // [hot-region-alloc] heap container built per probe — the bitmap word
+  // lookup must index the existing vector, never materialize a map.
+  std::map<unsigned, unsigned long long> words;
+  (void)words[ino];
+
+  // [hot-region-alloc] std::string formatting on the serve path.
+  std::string key = std::to_string(ino) + ":" + std::to_string(lblock);
+  (void)key;
+
+  // [hot-region-alloc] std::function indirection per probe.
+  std::function<bool()> probe = [] { return true; };
+  return probe();
+}
+// ppfs::endhot
+
+inline void fsck_report_path() {
+  // OK: fsck and recovery are cold paths — allocation is fine there.
+  std::string summary = "entries=0";
+  (void)summary;
+}
+
+}  // namespace ppfs::bad

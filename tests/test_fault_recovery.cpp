@@ -146,6 +146,29 @@ TEST(FaultRecovery, CrashDuringPrefetchShedsBuffersAndRecovers) {
   EXPECT_EQ(r.total_bytes, w.file_size);
 }
 
+TEST(FaultRecovery, CrashEpochInvalidatesInFlightPrefetchBuffers) {
+  // A crash bumps the mount's topology epoch; prefetch replies stamped in
+  // the dead epoch must be refused at serve time (and re-read from a live
+  // epoch) rather than served as stale bytes.
+  Experiment exp;
+  auto w = small_verified_workload(4 * 1024 * 1024);
+  w.prefetch = true;
+  w.prefetch_cfg.depth = 2;
+  w.compute_delay = 0.01;
+  w.faults = fault::parse_plan("crash:io=1,at=0.1,outage=0.08");
+  const ExperimentResult r = exp.run(w);
+  EXPECT_GT(r.prefetch.epoch_discarded, 0u);
+  EXPECT_EQ(r.faults.stale_epoch_discards, r.prefetch.epoch_discarded);
+  // Every discarded buffer was replaced by a live-epoch read: bytes intact.
+  EXPECT_EQ(r.faults.app_errors, 0u);
+  EXPECT_EQ(r.verify_failures, 0u);
+  EXPECT_EQ(r.total_bytes, w.file_size);
+  // The discard count is part of the deterministic schedule.
+  const ExperimentResult r2 = exp.run(w);
+  EXPECT_EQ(r2.prefetch.epoch_discarded, r.prefetch.epoch_discarded);
+  EXPECT_EQ(r2.digest, r.digest);
+}
+
 // --- chaos mode -------------------------------------------------------------
 
 TEST(FaultRecovery, ChaosPlanIsDeterministicAndSurvivable) {

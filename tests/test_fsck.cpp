@@ -1,0 +1,237 @@
+// ppfs-lint: allow-file(ref-across-await) test idiom: coroutine referents are stack locals and the test blocks in sim.run()/run_task() before they die
+// ppfs_fsck engine tests: detection of all four corruption kinds, repair
+// semantics (quarantine vs clamp), job-count determinism of the report, and
+// the end-to-end post-run audit over a real mount.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/fsck.hpp"
+#include "cache/tier.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/simulation.hpp"
+#include "workload/experiment.hpp"
+#include "workload/recovery.hpp"
+
+namespace ppfs {
+namespace {
+
+using cache::CacheFileInfo;
+using cache::CacheTier;
+using cache::CacheTierParams;
+using cache::FsckShard;
+
+/// A tier with a controllable fake inode table, pre-populated with one
+/// healthy journaled file (ino 1, generation 1, blocks 0..3 of 8).
+struct FsckFixture {
+  sim::Simulation sim;
+  std::map<std::uint32_t, std::uint64_t> generations;
+  std::map<std::uint32_t, std::uint64_t> block_counts;
+  CacheTier tier;
+
+  FsckFixture()
+      : tier(sim, "fsck-tier", params(),
+             [this](std::uint32_t ino) {
+               const auto it = generations.find(ino);
+               return it == generations.end() ? 0ull : it->second;
+             },
+             [this](std::uint32_t ino) {
+               const auto it = block_counts.find(ino);
+               return it == block_counts.end() ? 0ull : it->second;
+             }) {
+    generations[1] = 1;
+    block_counts[1] = 8;
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      tier.insert(1, 1, b);
+      sim.run();  // let each journal write land (flush interval 1)
+    }
+  }
+
+  static CacheTierParams params() {
+    CacheTierParams p;
+    p.enabled = true;
+    p.journal_flush_interval = 1;
+    return p;
+  }
+
+  std::vector<FsckShard> shards() {
+    FsckShard s;
+    s.tier = &tier;
+    s.label = "fsck-tier";
+    for (const auto& [ino, gen] : generations) {
+      s.files.push_back(cache::FsckFileTruth{ino, gen, block_counts[ino]});
+    }
+    return {std::move(s)};
+  }
+};
+
+TEST(Fsck, CleanTierReportsClean) {
+  FsckFixture f;
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 2, /*repair=*/true);
+  EXPECT_EQ(report.entries_checked, 1u);
+  EXPECT_EQ(report.findings(), 0u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.repairs_applied, 0u);
+}
+
+TEST(Fsck, TornEntryIsDetectedAndQuarantined) {
+  FsckFixture f;
+  f.tier.debug_corrupt_payload(1);
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 1, /*repair=*/true);
+  EXPECT_EQ(report.torn_dropped, 1u);
+  EXPECT_EQ(report.repairs_applied, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(f.tier.durable_entries().count(1), 0u);
+  EXPECT_FALSE(f.tier.resident(1, 0));  // quarantine stops volatile serving too
+}
+
+TEST(Fsck, UnknownInodeEntryIsDetected) {
+  FsckFixture f;
+  CacheFileInfo ghost;
+  ghost.ino = 77;
+  ghost.generation = 1;
+  ghost.set(0);
+  f.tier.debug_replace_entry(77, ghost);
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 1, /*repair=*/true);
+  EXPECT_EQ(report.unknown_ino_dropped, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(f.tier.durable_entries().count(77), 0u);
+}
+
+TEST(Fsck, StaleGenerationEntryIsDetected) {
+  FsckFixture f;
+  f.generations[1] = 2;  // file recreated since the journal entry
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 1, /*repair=*/true);
+  EXPECT_EQ(report.stale_generation_dropped, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(f.tier.durable_entries().count(1), 0u);
+}
+
+TEST(Fsck, OutOfRangeBitsAreRepairedByClamping) {
+  FsckFixture f;
+  // Journal claims blocks beyond the file's 8-block allocation.
+  CacheFileInfo inflated = *cache::decode(f.tier.durable_entries().at(1).payload.data(),
+                                          f.tier.durable_entries().at(1).payload.size());
+  inflated.set(10);
+  inflated.set(12);
+  f.tier.debug_replace_entry(1, inflated);
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 1, /*repair=*/true);
+  EXPECT_EQ(report.out_of_range_entries, 1u);
+  EXPECT_EQ(report.out_of_range_bits_cleared, 2u);
+  EXPECT_EQ(report.repairs_applied, 1u);
+  EXPECT_TRUE(report.clean());
+  // The entry survives, clamped — the in-range residency still serves.
+  ASSERT_EQ(f.tier.durable_entries().count(1), 1u);
+  const auto repaired = cache::decode(f.tier.durable_entries().at(1).payload.data(),
+                                      f.tier.durable_entries().at(1).payload.size());
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->popcount(), 4u);
+  EXPECT_TRUE(f.tier.resident(1, 0));
+}
+
+TEST(Fsck, ScanOnlyLeavesCorruptionInPlace) {
+  FsckFixture f;
+  f.tier.debug_corrupt_payload(1);
+  auto shards = f.shards();
+  const auto report = cache::run_fsck(shards, 1, /*repair=*/false);
+  EXPECT_EQ(report.torn_dropped, 1u);
+  EXPECT_EQ(report.unrepaired, 1u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(f.tier.durable_entries().count(1), 1u);  // untouched
+}
+
+TEST(Fsck, SecondPassAfterRepairIsClean) {
+  FsckFixture f;
+  f.tier.debug_corrupt_payload(1);
+  auto shards = f.shards();
+  (void)cache::run_fsck(shards, 2, /*repair=*/true);
+  const auto second = cache::run_fsck(shards, 2, /*repair=*/false);
+  EXPECT_EQ(second.findings(), 0u);
+  EXPECT_TRUE(second.clean());
+}
+
+TEST(Fsck, ReportIsIdenticalForAnyJobCount) {
+  // Two identical fixtures (fsck mutates state), scanned with different
+  // thread counts: byte-identical summaries.
+  FsckFixture f1, f4;
+  for (auto* f : {&f1, &f4}) {
+    f->generations[2] = 1;
+    f->block_counts[2] = 4;
+    f->tier.insert(2, 1, 0);
+    f->sim.run();
+    f->tier.debug_corrupt_payload(1);
+  }
+  auto s1 = f1.shards();
+  auto s4 = f4.shards();
+  const auto r1 = cache::run_fsck(s1, 1, /*repair=*/true);
+  const auto r4 = cache::run_fsck(s4, 4, /*repair=*/true);
+  EXPECT_EQ(r1.summary(), r4.summary());
+  EXPECT_EQ(r1.findings(), r4.findings());
+}
+
+TEST(Fsck, InjectCorruptionsIsSeedDeterministic) {
+  FsckFixture f1, f2;
+  auto s1 = f1.shards();
+  auto s2 = f2.shards();
+  const auto a = cache::inject_corruptions(s1, 1234, 4);
+  const auto b = cache::inject_corruptions(s2, 1234, 4);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 4u);
+  // ...and every injected corruption is found.
+  const auto report = cache::run_fsck(s1, 2, /*repair=*/true);
+  EXPECT_GT(report.findings(), 0u);
+  EXPECT_TRUE(report.clean());
+  const auto recheck = cache::run_fsck(s1, 2, /*repair=*/false);
+  EXPECT_EQ(recheck.findings(), 0u);
+}
+
+// --- end to end over a real mount -------------------------------------------
+
+TEST(Fsck, PostRunAuditOverRealMountDetectsAndRepairsSeededCorruption) {
+  workload::MachineSpec m;
+  m.pfs.ufs.cache_tier.enabled = true;
+  workload::Experiment exp(m);
+  workload::WorkloadSpec w;
+  w.file_size = 4 * 1024 * 1024;  // 8 blocks per stripe file: journals flush
+  w.request_size = 64 * 1024;
+
+  cache::FsckReport report, recheck;
+  std::vector<std::string> injected;
+  exp.run(w, nullptr, [&](pfs::PfsFileSystem& fs) {
+    auto shards = workload::make_fsck_shards(fs);
+    ASSERT_EQ(shards.size(), 8u);  // one per I/O node
+    injected = cache::inject_corruptions(shards, 42, 6);
+    report = cache::run_fsck(shards, 4, /*repair=*/true);
+    recheck = cache::run_fsck(shards, 4, /*repair=*/false);
+  });
+  EXPECT_FALSE(injected.empty());
+  EXPECT_GT(report.entries_checked, 0u);
+  EXPECT_GT(report.findings(), 0u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(recheck.findings(), 0u);
+  EXPECT_NE(report.summary().find("clean=yes"), std::string::npos);
+}
+
+TEST(Fsck, MakeShardsIsEmptyWhenTierIsOff) {
+  workload::Experiment exp;  // default machine: tier off
+  workload::WorkloadSpec w;
+  w.file_size = 1024 * 1024;
+  w.request_size = 64 * 1024;
+  bool hook_ran = false;
+  exp.run(w, nullptr, [&](pfs::PfsFileSystem& fs) {
+    hook_ran = true;
+    EXPECT_TRUE(workload::make_fsck_shards(fs).empty());
+  });
+  EXPECT_TRUE(hook_ran);
+}
+
+}  // namespace
+}  // namespace ppfs

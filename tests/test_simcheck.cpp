@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <coroutine>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/tier.hpp"
 #include "hw/machine.hpp"
 #include "pfs/client.hpp"
 #include "pfs/filesystem.hpp"
@@ -200,6 +202,58 @@ TEST(SimCheckBuffers, RealPrefetchRunConserves) {
   EXPECT_EQ(sim.auditor()->count(Violation::kBufferConservation), 0u);
 }
 
+// --- cache bitmap conservation ----------------------------------------------
+
+TEST(SimCheckCacheBits, UnbalancedLedgerDetected) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  const void* owner = &sim;
+  a->on_cache_bit_set(owner, 4);
+  a->on_cache_bit_cleared(owner, 1);
+  // Tier claims 2 resident, but the ledger says 4 - 1 = 3.
+  a->check_cache_bitmap_conservation(sim.now(), owner, /*resident=*/2);
+  EXPECT_EQ(a->count(Violation::kCacheBitmapConservation), 1u);
+}
+
+TEST(SimCheckCacheBits, OverClearDetectedImmediately) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  const void* owner = &sim;
+  a->on_cache_bit_set(owner, 1);
+  a->on_cache_bit_cleared(owner, 1);
+  a->on_cache_bit_cleared(owner, 1);  // clears a bit that was never set
+  EXPECT_EQ(a->count(Violation::kCacheBitmapConservation), 1u);
+}
+
+TEST(SimCheckCacheBits, TierLifecycleConserves) {
+  // Insert / evict / crash / recover through the real tier: the ledger must
+  // balance at every checkpoint and at destruction.
+  Simulation sim;
+  std::map<std::uint32_t, std::uint64_t> gens{{1, 1}};
+  std::map<std::uint32_t, std::uint64_t> blocks{{1, 64}};
+  {
+    cache::CacheTierParams p;
+    p.enabled = true;
+    p.journal_flush_interval = 1;
+    p.capacity_blocks = 8;
+    cache::CacheTier tier(sim, "audited-tier", p,
+                          [&](std::uint32_t ino) { return gens.count(ino) ? gens[ino] : 0; },
+                          [&](std::uint32_t ino) { return blocks.count(ino) ? blocks[ino] : 0; });
+    for (std::uint64_t b = 0; b < 12; ++b) {  // overflows capacity: evictions
+      tier.insert(1, 1, b);
+      sim.run();
+    }
+    EXPECT_GT(tier.stats().evictions, 0u);
+    sim.auditor()->check_cache_bitmap_conservation(sim.now(), &tier, tier.resident_blocks());
+    tier.on_crash();
+    run_task(sim, tier.recover());
+    sim.auditor()->check_cache_bitmap_conservation(sim.now(), &tier, tier.resident_blocks());
+  }  // ~CacheTier runs the in_destructor check
+  EXPECT_EQ(sim.auditor()->count(Violation::kCacheBitmapConservation), 0u);
+}
+
 // --- seeded injection: the auditor audits itself ----------------------------
 
 class SimCheckInjection : public ::testing::TestWithParam<std::uint64_t> {};
@@ -216,7 +270,8 @@ TEST_P(SimCheckInjection, EveryViolationClassIsCaught) {
   const Violation kinds[] = {Violation::kCausality, Violation::kDoubleResume,
                              Violation::kResumeAfterDestroy, Violation::kResourceAccounting,
                              Violation::kBufferConservation,
-                             Violation::kCoalesceConservation};
+                             Violation::kCoalesceConservation,
+                             Violation::kCacheBitmapConservation};
   for (Violation kind : kinds) {
     Simulation sim;
     auto* a = sim.auditor();

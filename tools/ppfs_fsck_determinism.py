@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""ppfs_fsck job-count determinism check.
+
+Runs ppfs_fsck twice with identical workload/corruption arguments but
+different --jobs values and demands byte-identical stdout and equal exit
+status: the fsck report is a deterministic function of the (seeded) cache
+state, never of the thread schedule.
+
+Usage: ppfs_fsck_determinism.py <path-to-ppfs_fsck> [extra args...]
+"""
+
+import subprocess
+import sys
+
+
+def run(binary, jobs, extra):
+    proc = subprocess.run(
+        [binary, "--jobs", str(jobs)] + extra,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main():
+    if len(sys.argv) < 2:
+        print("usage: ppfs_fsck_determinism.py <ppfs_fsck> [args...]", file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    extra = sys.argv[2:]
+
+    rc1, out1 = run(binary, 1, extra)
+    rc8, out8 = run(binary, 8, extra)
+
+    if rc1 != rc8 or out1 != out8:
+        print("fsck determinism FAILED: --jobs 1 vs --jobs 8 differ")
+        print(f"--- exit {rc1} (jobs=1) ---\n{out1}")
+        print(f"--- exit {rc8} (jobs=8) ---\n{out8}")
+        return 1
+    print(f"fsck determinism OK: identical report for jobs=1 and jobs=8 (exit {rc1})")
+    sys.stdout.write(out1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

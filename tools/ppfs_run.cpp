@@ -84,7 +84,39 @@ void print_result(const char* label, const ExperimentResult& r) {
                 (unsigned long long)f.rpc_timeouts, (unsigned long long)f.terminal_errors,
                 (unsigned long long)f.app_errors, fmt_time(f.backoff_time).c_str(),
                 fmt_time(f.recovery_wait_time).c_str());
+    if (f.stale_epoch_discards > 0) {
+      std::printf("  prefetch epochs: stale-epoch discards=%llu\n",
+                  (unsigned long long)f.stale_epoch_discards);
+    }
   }
+  if (r.cache_lookups > 0 || r.cache_inserts > 0 || r.cache_recoveries > 0) {
+    std::printf("  cache tier: lookups=%llu hits=%llu (%.1f%%) inserts=%llu "
+                "evictions=%llu journal-flushes=%llu\n",
+                (unsigned long long)r.cache_lookups, (unsigned long long)r.cache_hits,
+                r.cache_lookups
+                    ? 100.0 * (double)r.cache_hits / (double)r.cache_lookups
+                    : 0.0,
+                (unsigned long long)r.cache_inserts,
+                (unsigned long long)r.cache_evictions,
+                (unsigned long long)r.cache_journal_flushes);
+    if (r.cache_recoveries > 0) {
+      std::printf("  tier recovery: replays=%llu recovery-time=%.3fms blocks=%llu "
+                  "torn-dropped=%llu stale-dropped=%llu warm-hit=%.1f%%\n",
+                  (unsigned long long)r.cache_recoveries,
+                  r.cache_recovery_time * 1e3,
+                  (unsigned long long)r.cache_recovered_blocks,
+                  (unsigned long long)r.cache_torn_dropped,
+                  (unsigned long long)r.cache_stale_dropped,
+                  r.cache_warm_hit_ratio * 100.0);
+    }
+  }
+}
+
+/// True when the run ended with faults the stack could NOT absorb: a retry
+/// budget exhausted or a FaultError surfacing to application code. Drives
+/// the exit status (3) so scripts and CI can gate on give-up.
+bool fault_gave_up(const ExperimentResult& r) {
+  return r.faults.terminal_errors > 0 || r.faults.app_errors > 0;
 }
 
 /// SimCheck determinism self-check: run the identical configuration twice
@@ -261,14 +293,21 @@ int main(int argc, char** argv) {
         throw;
       }
       print_result(opt.workload.prefetch ? "prefetch:" : "no prefetch:", r);
+      const bool gave_up = fault_gave_up(r);
       if (sinkp) {
-        const bool gave_up = r.faults.terminal_errors > 0 || r.faults.app_errors > 0;
         dump_trace(sink, opt, gave_up);
         std::printf("\n%s", trace::format_metrics(
                                 trace::compute_metrics(trace::snapshot(sink)))
                                 .c_str());
       }
       if (r.verify_failures > 0) return 1;
+      if (gave_up) {
+        std::fprintf(stderr,
+                     "fault give-up: terminal=%llu app-errors=%llu (exit 3)\n",
+                     (unsigned long long)r.faults.terminal_errors,
+                     (unsigned long long)r.faults.app_errors);
+        return 3;
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
