@@ -209,4 +209,89 @@ inline sim::ByteCount file_size_for(sim::ByteCount request, int ncompute, int ro
   return std::max<sim::ByteCount>(sz, 4 * 1024 * 1024);
 }
 
+// ---------------------------------------------------------------------------
+// AdaptaFetch ablation grid — shared by bench_ablation_adaptive and the
+// ppfs_perf prefetch-efficiency gate so the committed BENCH_prefetch.json
+// and the paper-figure bench always measure the exact same scenarios.
+
+struct AdaptaConfig {
+  const char* name;
+  std::size_t depth;   // fixed readahead depth (starting depth when adaptive)
+  bool adaptive;       // AdaptaFetch controller + ensemble predictor
+};
+
+inline constexpr AdaptaConfig kAdaptaConfigs[] = {
+    {"fixed-1", 1, false},   // the paper's one-ahead prototype
+    {"fixed-4", 4, false},   // deeper but still open-loop
+    {"adaptive", 1, true},   // feedback-driven, ensemble, max depth 8
+};
+inline constexpr std::size_t kAdaptaConfigCount =
+    sizeof kAdaptaConfigs / sizeof kAdaptaConfigs[0];
+
+struct AdaptaRow {
+  const char* name;
+  workload::AccessPattern pattern;
+  pfs::IoMode mode;
+  sim::SimTime compute_delay;
+  std::uint64_t reads_per_node;   // full run; --quick halves this
+};
+
+inline constexpr AdaptaRow kAdaptaRows[] = {
+    {"sequential", workload::AccessPattern::kInterleaved, pfs::IoMode::kRecord,
+     0.002, 64},
+    {"strided", workload::AccessPattern::kStrided, pfs::IoMode::kAsync, 0.004, 64},
+    {"listio", workload::AccessPattern::kListIo, pfs::IoMode::kAsync, 0.004, 64},
+};
+inline constexpr std::size_t kAdaptaRowCount = sizeof kAdaptaRows / sizeof kAdaptaRows[0];
+
+inline workload::WorkloadSpec adapta_spec(const AdaptaRow& row, const AdaptaConfig& cfg,
+                                          bool quick) {
+  constexpr sim::ByteCount kReq = 64 * 1024;
+  const int n = workload::MachineSpec{}.ncompute;
+  const std::uint64_t reads = quick ? row.reads_per_node / 2 : row.reads_per_node;
+
+  workload::WorkloadSpec w;
+  w.mode = row.mode;
+  w.pattern = row.pattern;
+  w.request_size = kReq;
+  w.compute_delay = row.compute_delay;
+  w.prefetch = true;
+  w.prefetch_cfg.depth = cfg.depth;
+  w.prefetch_cfg.adaptive_depth = cfg.adaptive;
+  w.prefetch_cfg.max_depth = 8;
+  if (cfg.adaptive) w.prefetch_cfg.predictor = prefetch::PredictorKind::kEnsemble;
+
+  switch (row.pattern) {
+    case workload::AccessPattern::kStrided:
+      w.stride = 4;
+      // reads/node = file / (req * n * stride)
+      w.file_size = kReq * n * w.stride * reads;
+      break;
+    case workload::AccessPattern::kListIo: {
+      w.listio_extents = 4;
+      // reads/node = (share / frame) * extents; pick share an exact frame
+      // multiple so nothing is truncated.
+      const sim::ByteCount frames = reads / w.listio_extents;
+      w.file_size = workload::listio_frame_bytes(w) * frames * n;
+      break;
+    }
+    default:
+      w.file_size = kReq * n * reads;
+      break;
+  }
+  return w;
+}
+
+/// The full pattern x config sweep, row-major (configs inner).
+inline std::vector<exp::SweepJob> adapta_jobs(bool quick) {
+  std::vector<exp::SweepJob> jobs;
+  for (const AdaptaRow& row : kAdaptaRows) {
+    for (const AdaptaConfig& cfg : kAdaptaConfigs) {
+      jobs.push_back({std::string(row.name) + " " + cfg.name, workload::MachineSpec{},
+                      adapta_spec(row, cfg, quick)});
+    }
+  }
+  return jobs;
+}
+
 }  // namespace ppfs::bench

@@ -1,0 +1,101 @@
+#include "prefetch/controller.hpp"
+
+#include <algorithm>
+
+namespace ppfs::prefetch {
+
+AdaptiveController::AdaptiveController(ControllerParams p) : p_(p) {
+  p_.min_depth = std::max<std::size_t>(p_.min_depth, 1);
+  p_.max_depth = std::max(p_.max_depth, p_.min_depth);
+  p_.window = std::max<std::size_t>(p_.window, 1);
+  p_.miss_storm = std::max<std::size_t>(p_.miss_storm, 1);
+}
+
+AdaptiveController::State& AdaptiveController::state(int fd) {
+  State* s = fds_.find(fd);
+  if (s) return *s;
+  State& fresh = fds_.get_or_insert(fd);
+  fresh.depth = static_cast<std::uint32_t>(p_.min_depth);
+  // Seeded window phase: the first window is shortened to
+  // window - seed % window reads, so evaluation instants shift with the
+  // seed while the trajectory stays a pure function of (seed, read
+  // stream). Only real reads are counted against the target — a phased
+  // window must not be scored as if its missing reads were misses.
+  fresh.win_target =
+      static_cast<std::uint32_t>(p_.window - p_.seed % p_.window);
+  return fresh;
+}
+
+void AdaptiveController::on_open(int fd) { (void)state(fd); }
+
+void AdaptiveController::on_close(int fd) { fds_.erase(fd); }
+
+void AdaptiveController::evaluate(State& s) {
+  const std::uint32_t reads = s.win_reads;
+  const std::uint32_t hits = s.win_hits;
+  const bool wasted = s.win_wasted != 0;
+  s.win_reads = 0;
+  s.win_hits = 0;
+  s.win_wasted = 0;
+  s.win_target = static_cast<std::uint32_t>(p_.window);
+  if (!wasted && hits * 4 >= reads * 3) {
+    // Confirmed useful window: double the readahead.
+    const auto next = std::min<std::size_t>(s.depth * 2, p_.max_depth);
+    if (next != s.depth) {
+      s.depth = static_cast<std::uint32_t>(next);
+      ++counters_.ramp_ups;
+    }
+  } else if (hits * 2 < reads || wasted) {
+    // Losing (or wasteful) window: back off.
+    const auto next = std::max<std::size_t>(s.depth / 2, p_.min_depth);
+    if (next != s.depth) {
+      s.depth = static_cast<std::uint32_t>(next);
+      ++counters_.ramp_downs;
+    }
+  }
+}
+
+void AdaptiveController::collapse(State& s) {
+  if (s.depth != p_.min_depth) {
+    s.depth = static_cast<std::uint32_t>(p_.min_depth);
+    ++counters_.collapses;
+  }
+  s.win_reads = 0;
+  s.win_hits = 0;
+  s.win_wasted = 0;
+  s.consec_miss = 0;
+  s.win_target = static_cast<std::uint32_t>(p_.window);
+}
+
+void AdaptiveController::account_read(State& s, bool hit) {
+  ++s.win_reads;
+  if (hit) s.win_hits += 1;
+  if (s.win_reads >= s.win_target) evaluate(s);
+}
+
+void AdaptiveController::on_hit(int fd) {
+  State& s = state(fd);
+  s.consec_miss = 0;
+  account_read(s, true);
+}
+
+void AdaptiveController::on_miss(int fd) {
+  State& s = state(fd);
+  ++s.consec_miss;
+  if (s.consec_miss >= p_.miss_storm) {
+    // The pattern broke outright; don't wait for the window to close.
+    collapse(s);
+    return;
+  }
+  account_read(s, false);
+}
+
+void AdaptiveController::on_wasted(int fd, std::uint64_t n) {
+  if (n == 0) return;
+  State& s = state(fd);
+  s.win_wasted += static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 1u << 20));
+}
+
+void AdaptiveController::on_fault(int fd) { collapse(state(fd)); }
+
+}  // namespace ppfs::prefetch

@@ -9,7 +9,20 @@
 namespace ppfs::prefetch {
 
 PrefetchEngine::PrefetchEngine(pfs::PfsClient& client, PrefetchConfig cfg)
-    : client_(client), cfg_(cfg), predictor_(make_predictor(cfg.predictor)) {}
+    : client_(client), cfg_(cfg), predictor_(make_predictor(cfg.predictor)) {
+  if (cfg_.adaptive_depth) {
+    ControllerParams p;
+    p.min_depth = 1;
+    // Bounded by buffer occupancy: the controller can never ramp past the
+    // engine's resident-buffer cap (the value TraceScope's occupancy
+    // counter tracks), nor past the engine's stack prediction buffer.
+    p.max_depth = std::min({cfg_.max_depth, cfg_.max_buffers_per_file, kMaxPrefetchDepth});
+    p.window = cfg_.feedback_window;
+    p.miss_storm = cfg_.miss_storm;
+    p.seed = cfg_.adaptive_seed;
+    controller_ = std::make_unique<AdaptiveController>(p);
+  }
+}
 
 PrefetchEngine::~PrefetchEngine() {
   if (auto* a = auditor()) {
@@ -41,6 +54,45 @@ void PrefetchEngine::occupancy_changed(std::int64_t dbuffers, std::int64_t dbyte
 void PrefetchEngine::on_open(int fd) {
   lists_.try_emplace(fd);  // "when the file is opened newly by a process,
                            // the prefetch list gets initialized"
+  if (controller_) {
+    controller_->on_open(fd);
+    // Baseline sample for the per-fd depth counter track.
+    trace::counter(client_.machine().simulation(), trace::TraceTrack::kPrefetch,
+                   trace::code::kPrefetchDepth, client_.rank(),
+                   static_cast<std::uint64_t>(fd), controller_->depth(fd));
+  }
+}
+
+std::size_t PrefetchEngine::current_depth(int fd) const {
+  return controller_ ? controller_->depth(fd) : cfg_.depth;
+}
+
+void PrefetchEngine::note_depth(int fd, std::size_t depth) {
+  trace_instant(trace::code::kPrefetchDepthChange, static_cast<FileOffset>(fd),
+                static_cast<ByteCount>(depth));
+  trace::counter(client_.machine().simulation(), trace::TraceTrack::kPrefetch,
+                 trace::code::kPrefetchDepth, client_.rank(),
+                 static_cast<std::uint64_t>(fd), static_cast<std::uint64_t>(depth));
+}
+
+void PrefetchEngine::sync_controller_stats() {
+  const ControllerCounters& c = controller_->counters();
+  stats_.depth_ramp_ups = c.ramp_ups;
+  stats_.depth_ramp_downs = c.ramp_downs;
+  stats_.depth_collapses = c.collapses;
+}
+
+void PrefetchEngine::depth_feedback(int fd, bool hit) {
+  if (!controller_) return;
+  const std::size_t before = controller_->depth(fd);
+  if (hit) {
+    controller_->on_hit(fd);
+  } else {
+    controller_->on_miss(fd);
+  }
+  const std::size_t after = controller_->depth(fd);
+  if (after != before) note_depth(fd, after);
+  sync_controller_stats();
 }
 
 std::size_t PrefetchEngine::resident_buffers(int fd) const {
@@ -68,11 +120,24 @@ void PrefetchEngine::shed_all() {
     (void)fd;
     for (auto& buf : st.list.drain()) {
       ++stats_.shed;
+      stats_.wasted_bytes += buf->length;
       trace_instant(trace::code::kPrefetchShed, buf->offset, buf->length);
       occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
       if (a) a->on_buffer_discarded(this);
       retire(buf);
     }
+  }
+  if (controller_) {
+    // Adaptation collapses with the shed: deep readahead must not resume
+    // at full depth into a recovering system. (std::map iteration order is
+    // fd order — deterministic.)
+    for (auto& [fd, st] : lists_) {
+      (void)st;
+      const std::size_t before = controller_->depth(fd);
+      controller_->on_fault(fd);
+      if (controller_->depth(fd) != before) note_depth(fd, controller_->depth(fd));
+    }
+    sync_controller_stats();
   }
 }
 
@@ -136,6 +201,7 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
     occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
     retire(buf);
     ++stats_.epoch_discarded;
+    stats_.wasted_bytes += buf->length;
     if (auto* a = auditor()) a->on_buffer_discarded(this);
     trace_instant(trace::code::kPrefetchShed, off, len);
     buf = nullptr;
@@ -147,14 +213,17 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
     for (auto& stale : list.overlapping(off, len)) {
       list.remove(stale);
       occupancy_changed(-1, -static_cast<std::int64_t>(stale->length));
+      stats_.wasted_bytes += stale->length;
       retire(stale);
       ++stats_.stale_discarded;
       if (auto* a = auditor()) a->on_buffer_discarded(this);
       ++dropped;
     }
     note_useless(st, dropped);
+    if (controller_ && dropped) controller_->on_wasted(fd, dropped);
     ++stats_.misses;
     trace_instant(trace::code::kPrefetchMiss, off, len);
+    depth_feedback(fd, /*hit=*/false);
     co_return std::nullopt;
   }
 
@@ -179,8 +248,10 @@ sim::Task<std::optional<ByteCount>> PrefetchEngine::try_serve(int fd, FileOffset
     // The prefetch itself failed; fall back to the normal read path.
     ++stats_.misses;
     trace_instant(trace::code::kPrefetchMiss, off, len);
+    depth_feedback(fd, /*hit=*/false);
     co_return std::nullopt;
   }
+  depth_feedback(fd, /*hit=*/true);
 
   const ByteCount got = std::min<ByteCount>(buf->request->result, len);
   // "The prefetched data is copied into the prefetch buffer present in the
@@ -199,7 +270,7 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
   FdState& st = lists_[fd];
   auto& list = st.list;
 
-  std::size_t depth = cfg_.depth;
+  std::size_t depth = controller_ ? controller_->depth(fd) : cfg_.depth;
   if (st.throttled) {
     // Probe mode: one single-block prefetch every probe period.
     ++st.reads_since_throttle;
@@ -209,8 +280,20 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
     }
     depth = 1;
   }
+  depth = std::min(depth, kMaxPrefetchDepth);
 
-  const auto targets = predictor_->predict(client_, fd, off, len, depth);
+  // Learning and prediction are split so the predict pass can fill a stack
+  // buffer: the per-read decision path allocates nothing.
+  predictor_->observe(client_, fd, off, len);
+  std::array<FileOffset, kMaxPrefetchDepth> target_buf;
+  const std::size_t ntargets =
+      depth == 0 ? 0
+                 : predictor_->predict(client_, fd, off, len,
+                                       std::span<FileOffset>(target_buf.data(), depth));
+  const std::span<const FileOffset> targets(target_buf.data(), ntargets);
+  stats_.depth_hist[ntargets == 0
+                        ? 0
+                        : std::min(depth, PrefetchStats::kDepthHistBuckets - 1)] += 1;
   const auto is_target = [&](const PrefetchBufferList::Handle& b) {
     if (!b || b->length != len) return false;
     for (FileOffset t : targets) {
@@ -228,10 +311,12 @@ sim::Task<void> PrefetchEngine::after_read(int fd, FileOffset off, ByteCount len
       if (!victim || is_target(victim)) break;
       list.remove(victim);
       occupancy_changed(-1, -static_cast<std::int64_t>(victim->length));
+      stats_.wasted_bytes += victim->length;
       retire(victim);
       ++stats_.wasted;
       if (auto* a = auditor()) a->on_buffer_discarded(this);
       note_useless(st, 1);
+      if (controller_) controller_->on_wasted(fd, 1);
       if (st.throttled) break;  // throttle tripped mid-loop: stop issuing
     }
 
@@ -266,11 +351,19 @@ void PrefetchEngine::on_close(int fd) {
   auto* a = auditor();
   for (auto& buf : it->second.list.drain()) {
     ++stats_.wasted;
+    stats_.wasted_bytes += buf->length;
     occupancy_changed(-1, -static_cast<std::int64_t>(buf->length));
     if (a) a->on_buffer_freed_at_close(this);
     retire(buf);
   }
   lists_.erase(it);
+  // Per-fd histories die with the file (the StridedPredictor leak fix);
+  // controller state goes the same way.
+  predictor_->forget(fd);
+  if (controller_) {
+    controller_->on_close(fd);
+    sync_controller_stats();
+  }
   // With no buffers resident anywhere in this engine, conservation must
   // balance exactly: allocated == consumed + discarded + freed-at-close.
   if (a) {

@@ -19,11 +19,13 @@
 //  * on close, every buffer is freed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 
 #include "pfs/client.hpp"
+#include "prefetch/controller.hpp"
 #include "prefetch/predictor.hpp"
 #include "prefetch/prefetch_buffer.hpp"
 #include "sim/types.hpp"
@@ -56,6 +58,20 @@ struct PrefetchConfig {
   /// prefetch buffer and pauses speculation; it resumes after this many
   /// consecutive fault-free reads.
   std::size_t fault_resume_reads = 3;
+
+  /// Adaptive readahead depth (AdaptaFetch, default off): per-fd windowed
+  /// hit-rate feedback scales depth between 1 and `max_depth`, bounded by
+  /// max_buffers_per_file. When off, `depth` above is used verbatim and
+  /// the event stream is bit-identical to the fixed-depth engine.
+  bool adaptive_depth = false;
+  std::size_t max_depth = 8;
+  /// Reads per feedback window (controller evaluation cadence).
+  std::size_t feedback_window = 4;
+  /// Consecutive misses that collapse depth to 1 immediately.
+  std::size_t miss_storm = 4;
+  /// Phases the controller's feedback windows; part of the deterministic
+  /// adaptation state (same seed + same read stream = same trajectory).
+  std::uint64_t adaptive_seed = 1;
 };
 
 struct PrefetchStats {
@@ -74,11 +90,30 @@ struct PrefetchStats {
   sim::ByteCount bytes_served = 0;
   sim::SimTime wait_time = 0;        // stall on in-flight hits
 
+  // AdaptaFetch controller activity (all zero when adaptive depth is off).
+  std::uint64_t depth_ramp_ups = 0;
+  std::uint64_t depth_ramp_downs = 0;
+  std::uint64_t depth_collapses = 0;  // miss-storm / fault collapses to 1
+  /// Prefetched bytes that never reached the application (stale discards,
+  /// cap evictions, shed, dead-epoch, freed at close).
+  sim::ByteCount wasted_bytes = 0;
+  /// Histogram of the depth used per issuing opportunity: bucket 0 counts
+  /// after_read calls that issued nothing (no prediction / depth 0),
+  /// bucket k counts calls made at depth k, the last bucket >= its index.
+  static constexpr std::size_t kDepthHistBuckets = 9;
+  std::array<std::uint64_t, kDepthHistBuckets> depth_hist{};
+
   double hit_ratio() const {
     const auto total = hits_ready + hits_in_flight + misses;
     return total ? static_cast<double>(hits_ready + hits_in_flight) /
                        static_cast<double>(total)
                  : 0.0;
+  }
+  /// Fraction of issued prefetches the application actually consumed.
+  double useful_ratio() const {
+    return issued ? static_cast<double>(hits_ready + hits_in_flight) /
+                        static_cast<double>(issued)
+                  : 0.0;
   }
 };
 
@@ -104,6 +139,13 @@ class PrefetchEngine final : public pfs::Prefetcher {
   bool throttled(int fd) const;
   /// True while fault activity has speculation paused.
   bool fault_paused() const noexcept { return fault_paused_; }
+  /// Readahead depth the next after_read on this fd will use (the fixed
+  /// config depth unless the adaptive controller is on).
+  std::size_t current_depth(int fd) const;
+  /// The adaptive controller, or nullptr when adaptive depth is off.
+  const AdaptiveController* controller() const noexcept { return controller_.get(); }
+  /// The predictor driving this engine (exposed for ensemble inspection).
+  const Predictor& predictor() const noexcept { return *predictor_; }
 
  private:
   /// Park a buffer whose ART may still be writing into it; it is freed
@@ -119,6 +161,13 @@ class PrefetchEngine final : public pfs::Prefetcher {
   };
 
   void note_useless(FdState& st, std::uint64_t count);
+  /// Feed a serve outcome to the adaptive controller and trace/record any
+  /// resulting depth transition. No-op when adaptive depth is off.
+  void depth_feedback(int fd, bool hit);
+  /// Emit the depth-change instant + per-fd depth counter sample.
+  void note_depth(int fd, std::size_t depth);
+  /// Mirror the controller's ramp/collapse counters into stats_.
+  void sync_controller_stats();
   /// Drop every resident prefetch buffer across all fds (fault response:
   /// speculative disk work only competes with recovery traffic).
   void shed_all();
@@ -137,6 +186,7 @@ class PrefetchEngine final : public pfs::Prefetcher {
   pfs::PfsClient& client_;
   PrefetchConfig cfg_;
   std::unique_ptr<Predictor> predictor_;
+  std::unique_ptr<AdaptiveController> controller_;  // non-null iff adaptive_depth
   std::map<int, FdState> lists_;
   PrefetchStats stats_;
   std::uint64_t last_fault_signal_ = 0;  // client RPC fault counter last seen

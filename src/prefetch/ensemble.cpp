@@ -1,0 +1,81 @@
+#include "prefetch/ensemble.hpp"
+
+namespace ppfs::prefetch {
+
+EnsemblePredictor::EnsemblePredictor() {
+  members_[0] = std::make_unique<ModeAwarePredictor>();
+  members_[1] = std::make_unique<StridedPredictor>();
+  members_[2] = std::make_unique<ListIoPredictor>();
+  members_[3] = std::make_unique<SequentialPredictor>();
+}
+
+const char* EnsemblePredictor::member_name(std::size_t i) {
+  switch (i) {
+    case 0: return "mode-aware";
+    case 1: return "strided";
+    case 2: return "list-io";
+    case 3: return "sequential";
+    default: return "?";
+  }
+}
+
+void EnsemblePredictor::observe(pfs::PfsClient& client, int fd, FileOffset off,
+                                ByteCount len) {
+  Scores& s = scores_.get_or_insert(fd);
+  // 1. Settle last round's bets: did the member's top-1 call land on the
+  //    read that actually arrived?
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    const bool correct = s.valid[i] && s.expected[i] == off;
+    s.score[i] = static_cast<std::int16_t>(s.score[i] / 2 + (correct ? 128 : 0));
+  }
+  // 2. Let every member learn from the read.
+  for (auto& m : members_) m->observe(client, fd, off, len);
+  // 3. Record each member's next top-1 call for the following round.
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    FileOffset top = 0;
+    const std::size_t n = members_[i]->predict(client, fd, off, len, {&top, 1});
+    s.valid[i] = n == 1;
+    s.expected[i] = top;
+  }
+}
+
+int EnsemblePredictor::pick(const Scores& s) const {
+  int best = -1;
+  int best_score = kConfidenceFloor - 1;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    if (s.score[i] > best_score) {  // strict '>' keeps lowest-index tie-break
+      best = static_cast<int>(i);
+      best_score = s.score[i];
+    }
+  }
+  return best;
+}
+
+// ppfs::hot — per-read decision: probe the score map, argmax over four
+// ints, delegate to the winner's pure predict; no allocation
+std::size_t EnsemblePredictor::predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                       ByteCount len, std::span<FileOffset> out) {
+  const Scores* s = scores_.find(fd);
+  if (!s || out.empty()) return 0;
+  const int w = pick(*s);
+  if (w < 0) return 0;  // nobody confident: issue nothing rather than guess
+  return members_[static_cast<std::size_t>(w)]->predict(client, fd, off, len, out);
+}
+// ppfs::endhot
+
+void EnsemblePredictor::forget(int fd) {
+  scores_.erase(fd);
+  for (auto& m : members_) m->forget(fd);
+}
+
+int EnsemblePredictor::winner(int fd) const {
+  const Scores* s = scores_.find(fd);
+  return s ? pick(*s) : -1;
+}
+
+int EnsemblePredictor::score(int fd, std::size_t i) const {
+  const Scores* s = scores_.find(fd);
+  return s && i < kMembers ? s->score[i] : 0;
+}
+
+}  // namespace ppfs::prefetch

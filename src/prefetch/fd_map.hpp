@@ -1,0 +1,116 @@
+// FdMap — a small open-addressed hash map from file descriptors to per-fd
+// prefetch state.
+//
+// Every predictor and the adaptive controller keep per-fd state that is
+// consulted on EVERY read (the per-read decision path). The original
+// StridedPredictor used a linear-scan std::vector<std::pair<int, History>>
+// that also never dropped entries on close, so a long-lived client leaked
+// one History per fd ever opened and paid an O(open-files-ever) scan per
+// read. FdMap fixes both: lookups are O(1) probes over a flat slot array,
+// and erase() is wired into the engine's close path via
+// Predictor::forget(fd).
+//
+// Determinism: iteration order is never exposed; behavior depends only on
+// the key sequence, never on addresses or randomization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppfs::prefetch {
+
+template <typename T>
+class FdMap {
+ public:
+  // ppfs::hot — exact-key probe on the per-read decision path: flat linear
+  // probing, no allocation, no stdlib call deeper than operator[]
+  /// Pointer to the value for `fd`, or nullptr when absent. Never inserts.
+  T* find(int fd) noexcept {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = probe_start(fd);; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.state == State::kEmpty) return nullptr;
+      if (s.state == State::kFull && s.key == fd) return &s.value;
+    }
+  }
+  const T* find(int fd) const noexcept {
+    return const_cast<FdMap*>(this)->find(fd);
+  }
+  // ppfs::endhot
+
+  /// Value for `fd`, inserting a default-constructed one if absent. May
+  /// rehash — callers use this on the open path, find() on the read path.
+  T& get_or_insert(int fd) {
+    if (T* v = find(fd)) return *v;
+    if (slots_.empty() || (count_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? kInitialSlots : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = probe_start(fd);; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.state != State::kFull) {
+        if (s.state == State::kTombstone) --tombstones_;
+        s.state = State::kFull;
+        s.key = fd;
+        s.value = T{};
+        ++count_;
+        return s.value;
+      }
+    }
+  }
+
+  /// Drop `fd`'s entry (no-op when absent). Tombstoned; the dead slot is
+  /// reclaimed by the next growth rehash.
+  void erase(int fd) noexcept {
+    if (slots_.empty()) return;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = probe_start(fd);; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.state == State::kEmpty) return;
+      if (s.state == State::kFull && s.key == fd) {
+        s.state = State::kTombstone;
+        s.value = T{};
+        --count_;
+        ++tombstones_;
+        return;
+      }
+    }
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  enum class State : std::uint8_t { kEmpty, kFull, kTombstone };
+  struct Slot {
+    T value{};
+    int key = 0;
+    State state = State::kEmpty;
+  };
+  static constexpr std::size_t kInitialSlots = 16;  // power of two
+
+  std::size_t probe_start(int fd) const noexcept {
+    // Fibonacci hashing; fds are small dense ints, so spread them.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 32) & (slots_.size() - 1);
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    count_ = 0;
+    tombstones_ = 0;
+    for (Slot& s : old) {
+      if (s.state == State::kFull) get_or_insert(s.key) = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace ppfs::prefetch

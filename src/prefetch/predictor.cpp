@@ -3,13 +3,13 @@
 #include <memory>
 #include <stdexcept>
 
+#include "prefetch/ensemble.hpp"
+
 namespace ppfs::prefetch {
 
-std::vector<FileOffset> ModeAwarePredictor::predict(pfs::PfsClient& client, int fd,
-                                                    FileOffset /*off*/, ByteCount len,
-                                                    std::size_t depth) {
-  if (!client.next_offset_predictable(fd) || len == 0) return {};
-  std::vector<FileOffset> out;
+std::size_t ModeAwarePredictor::predict(pfs::PfsClient& client, int fd, FileOffset /*off*/,
+                                        ByteCount len, std::span<FileOffset> out) {
+  if (!client.next_offset_predictable(fd) || len == 0 || out.empty()) return 0;
   // The client's pointer has already advanced past the read we were told
   // about, so next_read_offset names the upcoming read. Steps beyond it
   // advance by one "round": nprocs*len for M_RECORD, len otherwise.
@@ -18,79 +18,138 @@ std::vector<FileOffset> ModeAwarePredictor::predict(pfs::PfsClient& client, int 
                              ? static_cast<ByteCount>(client.nprocs()) * len
                              : len;
   const ByteCount fsize = client.file_size(fd);
-  for (std::size_t k = 0; k < depth; ++k) {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
     const FileOffset p = next + static_cast<FileOffset>(k) * step;
     if (p >= fsize) break;
-    out.push_back(p);
+    out[n++] = p;
   }
-  return out;
+  return n;
 }
 
-std::vector<FileOffset> SequentialPredictor::predict(pfs::PfsClient& client, int fd,
-                                                     FileOffset off, ByteCount len,
-                                                     std::size_t depth) {
-  if (len == 0) return {};
-  std::vector<FileOffset> out;
+std::size_t SequentialPredictor::predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                         ByteCount len, std::span<FileOffset> out) {
+  if (len == 0 || out.empty()) return 0;
   const ByteCount fsize = client.file_size(fd);
-  for (std::size_t k = 1; k <= depth; ++k) {
+  std::size_t n = 0;
+  for (std::size_t k = 1; k <= out.size(); ++k) {
     const FileOffset p = off + static_cast<FileOffset>(k) * len;
     if (p >= fsize) break;
-    out.push_back(p);
+    out[n++] = p;
   }
-  return out;
+  (void)fd;
+  return n;
 }
 
-StridedPredictor::History& StridedPredictor::state(int fd) {
-  for (auto& [id, h] : history_) {
-    if (id == fd) return h;
+void StridedPredictor::observe(pfs::PfsClient& /*client*/, int fd, FileOffset off,
+                               ByteCount /*len*/) {
+  History& h = history_.get_or_insert(fd);
+  if (h.has_prev) {
+    const auto delta = static_cast<std::int64_t>(off) - static_cast<std::int64_t>(h.prev);
+    if (h.has_last_delta && h.last_delta == delta && delta != 0) {
+      h.stride = delta;  // two agreeing deltas confirm the stride
+    } else if (h.stride != 0 && delta != h.stride) {
+      h.stride = 0;  // pattern broke; relearn
+    }
+    h.last_delta = delta;
+    h.has_last_delta = true;
   }
-  history_.emplace_back(fd, History{});
-  return history_.back().second;
+  h.prev = off;
+  h.has_prev = true;
 }
 
-void StridedPredictor::forget(int fd) {
-  for (auto it = history_.begin(); it != history_.end(); ++it) {
-    if (it->first == fd) {
-      history_.erase(it);
+void StridedPredictor::forget(int fd) { history_.erase(fd); }
+
+// ppfs::hot — per-read prediction: probe the fd map, walk the confirmed
+// stride; no history mutation, no allocation
+std::size_t StridedPredictor::predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                      ByteCount /*len*/, std::span<FileOffset> out) {
+  const History* h = history_.find(fd);
+  if (!h || h->stride == 0 || out.empty()) return 0;
+  const ByteCount fsize = client.file_size(fd);
+  std::size_t n = 0;
+  for (std::size_t k = 1; k <= out.size(); ++k) {
+    const std::int64_t p =
+        static_cast<std::int64_t>(off) + static_cast<std::int64_t>(k) * h->stride;
+    if (p < 0 || static_cast<FileOffset>(p) >= fsize) break;
+    out[n++] = static_cast<FileOffset>(p);
+  }
+  return n;
+}
+// ppfs::endhot
+
+void ListIoPredictor::detect(History& h) {
+  // Smallest period p whose last two cycles of deltas agree elementwise.
+  // Needs 2p observed deltas, so a length-p cycle confirms after two full
+  // frames — slower than StridedPredictor's two-delta rule but able to
+  // follow irregular per-frame extent walks.
+  for (std::size_t p = 1; p <= kMaxPeriod; ++p) {
+    if (h.count < 2 * p) break;
+    bool match = true;
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::int64_t recent = h.deltas[(h.count - 1 - i) & (kRing - 1)];
+      const std::int64_t prior = h.deltas[(h.count - 1 - i - p) & (kRing - 1)];
+      if (recent != prior) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      h.period = p;
       return;
     }
   }
+  h.period = 0;
 }
 
-std::vector<FileOffset> StridedPredictor::predict(pfs::PfsClient& client, int fd,
-                                                  FileOffset off, ByteCount /*len*/,
-                                                  std::size_t depth) {
-  History& h = state(fd);
-  std::vector<FileOffset> out;
-  if (h.prev) {
-    const auto delta =
-        static_cast<std::int64_t>(off) - static_cast<std::int64_t>(*h.prev);
-    if (h.last_delta && *h.last_delta == delta && delta != 0) {
-      h.stride = delta;  // two agreeing deltas confirm the stride
-    } else if (h.stride && delta != *h.stride) {
-      h.stride.reset();  // pattern broke; relearn
+void ListIoPredictor::observe(pfs::PfsClient& /*client*/, int fd, FileOffset off,
+                              ByteCount /*len*/) {
+  History& h = history_.get_or_insert(fd);
+  if (h.has_prev) {
+    const auto delta = static_cast<std::int64_t>(off) - static_cast<std::int64_t>(h.prev);
+    h.deltas[h.count & (kRing - 1)] = delta;
+    ++h.count;
+    if (h.period != 0) {
+      // Confirmed cycle: the newest delta must repeat the one a period ago.
+      const std::int64_t expected = h.deltas[(h.count - 1 - h.period) & (kRing - 1)];
+      if (delta != expected) detect(h);  // pattern broke; re-search
+    } else {
+      detect(h);
     }
-    h.last_delta = delta;
   }
   h.prev = off;
-
-  if (h.stride) {
-    const ByteCount fsize = client.file_size(fd);
-    for (std::size_t k = 1; k <= depth; ++k) {
-      const std::int64_t p =
-          static_cast<std::int64_t>(off) + static_cast<std::int64_t>(k) * *h.stride;
-      if (p < 0 || static_cast<FileOffset>(p) >= fsize) break;
-      out.push_back(static_cast<FileOffset>(p));
-    }
-  }
-  return out;
+  h.has_prev = true;
 }
+
+void ListIoPredictor::forget(int fd) { history_.erase(fd); }
+
+// ppfs::hot — per-read prediction: replay the confirmed delta cycle from
+// the ring; no history mutation, no allocation
+std::size_t ListIoPredictor::predict(pfs::PfsClient& client, int fd, FileOffset off,
+                                     ByteCount /*len*/, std::span<FileOffset> out) {
+  const History* h = history_.find(fd);
+  if (!h || h->period == 0 || out.empty()) return 0;
+  const ByteCount fsize = client.file_size(fd);
+  // The next delta repeats the one `period` steps back; walk the cycle
+  // forward from there.
+  std::int64_t p = static_cast<std::int64_t>(off);
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    p += h->deltas[(h->count - h->period + (k % h->period)) & (kRing - 1)];
+    if (p < 0 || static_cast<FileOffset>(p) >= fsize) break;
+    out[n++] = static_cast<FileOffset>(p);
+  }
+  return n;
+}
+// ppfs::endhot
 
 std::unique_ptr<Predictor> make_predictor(PredictorKind kind) {
   switch (kind) {
     case PredictorKind::kModeAware: return std::make_unique<ModeAwarePredictor>();
     case PredictorKind::kSequential: return std::make_unique<SequentialPredictor>();
     case PredictorKind::kStrided: return std::make_unique<StridedPredictor>();
+    case PredictorKind::kListIo: return std::make_unique<ListIoPredictor>();
+    case PredictorKind::kEnsemble: return std::make_unique<EnsemblePredictor>();
   }
   throw std::invalid_argument("make_predictor: unknown kind");
 }
@@ -100,6 +159,8 @@ const char* predictor_name(PredictorKind kind) {
     case PredictorKind::kModeAware: return "mode-aware";
     case PredictorKind::kSequential: return "sequential";
     case PredictorKind::kStrided: return "strided";
+    case PredictorKind::kListIo: return "list-io";
+    case PredictorKind::kEnsemble: return "ensemble";
   }
   return "?";
 }

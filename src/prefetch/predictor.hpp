@@ -6,18 +6,26 @@
 // M_RECORD mode that means: this rank's next record is one full round
 // (nprocs x request size) past the one it just read.
 //
-// ModeAwarePredictor reproduces the prototype. StridedPredictor is an
-// extension (paper future work: "a greater variety of workloads and access
-// patterns"): it learns an arbitrary constant stride from the observed
-// request stream, covering backward and strided scans the mode-aware rule
-// misses.
+// ModeAwarePredictor reproduces the prototype. The others are extensions
+// (paper future work: "a greater variety of workloads and access
+// patterns"): StridedPredictor learns an arbitrary constant stride,
+// ListIoPredictor learns a repeating cycle of deltas (the shape a
+// vector-of-extents / list-I/O request stream produces), and
+// EnsemblePredictor (ensemble.hpp) races all of them per fd with online
+// confidence scoring.
+//
+// The API splits learning from prediction so the engine sits on an
+// allocation-free read path: observe() mutates per-fd history, predict()
+// is pure and fills a caller-provided span (a stack array in the engine),
+// forget() drops per-fd state when the engine closes the file.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <vector>
+#include <memory>
+#include <span>
 
 #include "pfs/client.hpp"
+#include "prefetch/fd_map.hpp"
 #include "sim/types.hpp"
 
 namespace ppfs::prefetch {
@@ -25,21 +33,40 @@ namespace ppfs::prefetch {
 using sim::ByteCount;
 using sim::FileOffset;
 
+/// Upper bound on readahead depth; sizes the engine's stack target buffer
+/// and clamps PrefetchConfig::max_depth.
+inline constexpr std::size_t kMaxPrefetchDepth = 32;
+
 class Predictor {
  public:
   virtual ~Predictor() = default;
-  /// Given the read that just completed, the offsets worth prefetching
-  /// next, nearest-first, at most `depth` of them.
-  virtual std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
-                                          ByteCount len, std::size_t depth) = 0;
+
+  /// Feed the read that just completed into per-fd history. Called once
+  /// per read, before predict(). Stateless predictors ignore it.
+  virtual void observe(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len) {
+    (void)client;
+    (void)fd;
+    (void)off;
+    (void)len;
+  }
+
+  /// Fill `out` with the offsets worth prefetching after the observed read,
+  /// nearest-first, and return how many were written (<= out.size()).
+  /// Pure: no history mutation, no allocation.
+  virtual std::size_t predict(pfs::PfsClient& client, int fd, FileOffset off,
+                              ByteCount len, std::span<FileOffset> out) = 0;
+
+  /// Drop any per-fd history. Wired into the engine's close path so
+  /// long-lived clients don't accumulate state for dead fds.
+  virtual void forget(int fd) { (void)fd; }
 };
 
 /// The prototype's rule: ask the client where this rank's next reads land
 /// under the file's I/O mode (exact for M_RECORD / M_ASYNC / M_UNIX).
 class ModeAwarePredictor final : public Predictor {
  public:
-  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
-                                  ByteCount len, std::size_t depth) override;
+  std::size_t predict(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len,
+                      std::span<FileOffset> out) override;
 };
 
 /// Pure sequential next-block rule (ignores mode interleaving): what a
@@ -48,30 +75,61 @@ class ModeAwarePredictor final : public Predictor {
 /// not extend" strawman — measurably wrong under M_RECORD.
 class SequentialPredictor final : public Predictor {
  public:
-  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
-                                  ByteCount len, std::size_t depth) override;
+  std::size_t predict(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len,
+                      std::span<FileOffset> out) override;
 };
 
 /// Learns a constant stride from the last few requests on each fd.
 /// Predicts off + k*stride once two consecutive deltas agree.
 class StridedPredictor final : public Predictor {
  public:
-  std::vector<FileOffset> predict(pfs::PfsClient& client, int fd, FileOffset off,
-                                  ByteCount len, std::size_t depth) override;
-
-  void forget(int fd);
+  void observe(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len) override;
+  std::size_t predict(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len,
+                      std::span<FileOffset> out) override;
+  void forget(int fd) override;
 
  private:
   struct History {
-    std::optional<FileOffset> prev;
-    std::optional<std::int64_t> last_delta;
-    std::optional<std::int64_t> stride;  // confirmed
+    FileOffset prev = 0;
+    std::int64_t last_delta = 0;
+    std::int64_t stride = 0;  // confirmed; 0 = not yet learned
+    bool has_prev = false;
+    bool has_last_delta = false;
   };
-  std::vector<std::pair<int, History>> history_;
-  History& state(int fd);
+  FdMap<History> history_;
 };
 
-enum class PredictorKind { kModeAware, kSequential, kStrided };
+/// Learns a repeating cycle of deltas — the access shape of list-I/O
+/// (vector-of-extents) requests, where a process walks a frame of extents
+/// separated by gaps and then jumps to the next frame. A constant stride
+/// is the period-1 special case, but this predictor needs two full cycles
+/// to confirm, so StridedPredictor stays the faster learner there.
+class ListIoPredictor final : public Predictor {
+ public:
+  /// Longest delta cycle the predictor can confirm.
+  static constexpr std::size_t kMaxPeriod = 8;
+
+  void observe(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len) override;
+  std::size_t predict(pfs::PfsClient& client, int fd, FileOffset off, ByteCount len,
+                      std::span<FileOffset> out) override;
+  void forget(int fd) override;
+
+ private:
+  static constexpr std::size_t kRing = 16;  // power of two, >= 2*kMaxPeriod
+  struct History {
+    std::int64_t deltas[kRing] = {};  // ring of most recent deltas
+    std::uint64_t count = 0;          // deltas ever pushed
+    FileOffset prev = 0;
+    std::size_t period = 0;  // confirmed cycle length; 0 = not yet learned
+    bool has_prev = false;
+  };
+  FdMap<History> history_;
+
+  /// Re-search the ring for the smallest confirmed cycle (sets h.period).
+  static void detect(History& h);
+};
+
+enum class PredictorKind { kModeAware, kSequential, kStrided, kListIo, kEnsemble };
 
 std::unique_ptr<Predictor> make_predictor(PredictorKind kind);
 const char* predictor_name(PredictorKind kind);

@@ -41,6 +41,8 @@ const char* event_name(TraceTrack track, std::uint8_t event) {
         case code::kPrefetchHitInFlight: return "prefetch hit (in flight)";
         case code::kPrefetchMiss: return "prefetch miss";
         case code::kPrefetchShed: return "prefetch shed";
+        case code::kPrefetchDepth: return "readahead depth";
+        case code::kPrefetchDepthChange: return "depth change";
         default: return "buffer occupancy";
       }
   }
@@ -171,7 +173,12 @@ void write_chrome_json(const TraceSink& sink, std::ostream& out) {
         break;
       case TraceKind::kCounter:
         write_common(o, name, cat, "C", tid, ts_us);
-        o << ",\"args\":{\"buffers\":" << r.a << ",\"bytes\":" << r.b << "}}";
+        if (r.track == TraceTrack::kPrefetch && r.event == code::kPrefetchDepth) {
+          // Per-fd readahead depth from the adaptive controller.
+          o << ",\"args\":{\"fd" << r.a << " depth\":" << r.b << "}}";
+        } else {
+          o << ",\"args\":{\"buffers\":" << r.a << ",\"bytes\":" << r.b << "}}";
+        }
         break;
     }
   }

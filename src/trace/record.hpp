@@ -77,6 +77,11 @@ inline constexpr std::uint8_t kPrefetchHitInFlight = 2;
 inline constexpr std::uint8_t kPrefetchMiss = 3;
 inline constexpr std::uint8_t kPrefetchShed = 4;
 inline constexpr std::uint8_t kPrefetchOccupancy = 5;
+// Adaptive-depth controller: a per-fd readahead-depth counter track
+// (a = fd, b = depth) and an instant at each depth transition
+// (a = fd, b = new depth).
+inline constexpr std::uint8_t kPrefetchDepth = 6;
+inline constexpr std::uint8_t kPrefetchDepthChange = 7;
 }  // namespace code
 
 // Record flags.

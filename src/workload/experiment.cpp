@@ -50,6 +50,8 @@ struct NodePlan {
   ByteCount own_region_start = 0;  // seek target for unique-pointer modes
   bool seek_first = false;
   bool interleave_seeks = false;   // seek to (k*N + rank)*req before read k
+  bool strided_seeks = false;      // seek to strided_offset(k) before read k
+  bool listio_seeks = false;       // seek to listio_offset(k) before read k
 };
 
 struct NodeOutcome {
@@ -74,6 +76,8 @@ FileOffset expected_offset(const WorkloadSpec& w, const NodePlan& plan, int rank
       if (plan.interleave_seeks) {
         return (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size;
       }
+      if (plan.strided_seeks) return strided_offset(w, rank, nprocs, k);
+      if (plan.listio_seeks) return listio_offset(w, rank, nprocs, k);
       return plan.own_region_start + k * w.request_size;
     case IoMode::kGlobal:
       return k * w.request_size;
@@ -101,6 +105,10 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
     if (plan.interleave_seeks) {
       co_await client.seek(
           fd, (k * static_cast<FileOffset>(nprocs) + rank) * w.request_size);
+    } else if (plan.strided_seeks) {
+      co_await client.seek(fd, strided_offset(w, rank, nprocs, k));
+    } else if (plan.listio_seeks) {
+      co_await client.seek(fd, listio_offset(w, rank, nprocs, k));
     }
     const SimTime call_start = client.machine().simulation().now();
     ByteCount got = 0;
@@ -139,6 +147,11 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
 ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
                                  const PostRunHook& post_run) const {
   if (w.request_size == 0) throw std::invalid_argument("Experiment: zero request size");
+  if ((w.pattern == AccessPattern::kStrided || w.pattern == AccessPattern::kListIo) &&
+      (w.separate_files || (w.mode != IoMode::kUnix && w.mode != IoMode::kAsync))) {
+    throw std::invalid_argument(
+        "Experiment: strided/listio patterns need M_UNIX or M_ASYNC on a shared file");
+  }
   const int N = spec_.ncompute;
 
   sim::Simulation sim;
@@ -193,14 +206,35 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
           break;
         case IoMode::kUnix:
         case IoMode::kAsync: {
-          if (w.pattern == AccessPattern::kInterleaved) {
-            plans[r].reads = w.file_size / (w.request_size * static_cast<ByteCount>(N));
-            plans[r].interleave_seeks = true;
-          } else {
-            const ByteCount share = w.file_size / N;
-            plans[r].reads = share / w.request_size;
-            plans[r].own_region_start = static_cast<ByteCount>(r) * share;
-            plans[r].seek_first = true;
+          switch (w.pattern) {
+            case AccessPattern::kInterleaved:
+              plans[r].reads = w.file_size / (w.request_size * static_cast<ByteCount>(N));
+              plans[r].interleave_seeks = true;
+              break;
+            case AccessPattern::kOwnRegion: {
+              const ByteCount share = w.file_size / N;
+              plans[r].reads = share / w.request_size;
+              plans[r].own_region_start = static_cast<ByteCount>(r) * share;
+              plans[r].seek_first = true;
+              break;
+            }
+            case AccessPattern::kStrided:
+              if (w.stride < 1) {
+                throw std::invalid_argument("Experiment: stride must be >= 1");
+              }
+              plans[r].reads = strided_reads_per_node(w, N);
+              plans[r].strided_seeks = true;
+              break;
+            case AccessPattern::kListIo:
+              if (w.listio_extents < 1 ||
+                  w.listio_extents >
+                      static_cast<int>(prefetch::ListIoPredictor::kMaxPeriod)) {
+                throw std::invalid_argument(
+                    "Experiment: listio extents must be in [1, 8]");
+              }
+              plans[r].reads = listio_reads_per_node(w, N);
+              plans[r].listio_seeks = true;
+              break;
           }
           break;
         }
@@ -289,6 +323,13 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
       res.prefetch.epoch_discarded += st.epoch_discarded;
       res.prefetch.fault_pauses += st.fault_pauses;
       res.prefetch.fault_skips += st.fault_skips;
+      res.prefetch.depth_ramp_ups += st.depth_ramp_ups;
+      res.prefetch.depth_ramp_downs += st.depth_ramp_downs;
+      res.prefetch.depth_collapses += st.depth_collapses;
+      res.prefetch.wasted_bytes += st.wasted_bytes;
+      for (std::size_t b = 0; b < prefetch::PrefetchStats::kDepthHistBuckets; ++b) {
+        res.prefetch.depth_hist[b] += st.depth_hist[b];
+      }
       res.faults.shed_prefetches += st.shed;
       res.faults.stale_epoch_discards += st.epoch_discarded;
     }

@@ -2,6 +2,46 @@
 
 namespace ppfs::workload {
 
+const char* pattern_name(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kInterleaved: return "interleaved";
+    case AccessPattern::kOwnRegion: return "own-region";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kListIo: return "listio";
+  }
+  return "?";
+}
+
+FileOffset strided_offset(const WorkloadSpec& w, int rank, int nprocs, std::uint64_t k) {
+  const auto step = static_cast<FileOffset>(nprocs) * w.stride;
+  return (static_cast<FileOffset>(rank) + k * step) * w.request_size;
+}
+
+std::uint64_t strided_reads_per_node(const WorkloadSpec& w, int nprocs) {
+  const ByteCount round = w.request_size * static_cast<ByteCount>(nprocs) *
+                          static_cast<ByteCount>(w.stride);
+  return round ? w.file_size / round : 0;
+}
+
+ByteCount listio_frame_bytes(const WorkloadSpec& w) {
+  return w.request_size * (2 * static_cast<ByteCount>(w.listio_extents) + 1);
+}
+
+FileOffset listio_offset(const WorkloadSpec& w, int rank, int nprocs, std::uint64_t k) {
+  const auto extents = static_cast<std::uint64_t>(w.listio_extents);
+  const std::uint64_t frame = k / extents;
+  const std::uint64_t slot = k % extents;
+  const ByteCount share = w.file_size / nprocs;
+  return static_cast<FileOffset>(rank) * share + frame * listio_frame_bytes(w) +
+         slot * 2 * w.request_size;
+}
+
+std::uint64_t listio_reads_per_node(const WorkloadSpec& w, int nprocs) {
+  const ByteCount share = w.file_size / nprocs;
+  const ByteCount frame = listio_frame_bytes(w);
+  return frame ? (share / frame) * static_cast<std::uint64_t>(w.listio_extents) : 0;
+}
+
 void fill_pattern(std::uint64_t tag, FileOffset start, std::span<std::byte> out) {
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = pattern_byte(tag, start + i);
 }

@@ -28,7 +28,16 @@ using sim::SimTime;
 /// (but by explicit seeks, with no mode machinery) — the apples-to-apples
 /// pattern of the paper's Figure 2 comparison. kOwnRegion has node r scan
 /// [r*share, (r+1)*share) sequentially, a prefetch-friendly scan.
-enum class AccessPattern { kInterleaved, kOwnRegion };
+/// kStrided is a constant-stride sampling scan (node r reads request k at
+/// offset (r + k*N*stride)*request — every node visits one record out of
+/// each stride-th round, the PVFS noncontiguous "strided" shape). kListIo
+/// emulates a vector-of-extents request stream: node r walks frames of
+/// `listio_extents` gapped extents inside its own region, the access shape
+/// a list-I/O interface would batch. Both defeat the paper's mode-aware
+/// one-ahead rule and exist to exercise the strided/list-I/O predictors.
+enum class AccessPattern { kInterleaved, kOwnRegion, kStrided, kListIo };
+
+const char* pattern_name(AccessPattern p);
 
 struct WorkloadSpec {
   std::string name = "workload";
@@ -41,6 +50,10 @@ struct WorkloadSpec {
   ByteCount file_size = 8 * 1024 * 1024;
   /// Simulated computation between consecutive reads on each node.
   SimTime compute_delay = 0.0;
+  /// kStrided: rounds skipped between consecutive reads (>= 1).
+  int stride = 4;
+  /// kListIo: extents per list-I/O frame (1..8, the predictor's max cycle).
+  int listio_extents = 4;
   /// Attach the prefetch engine (the paper's "with prefetching" runs).
   bool prefetch = false;
   prefetch::PrefetchConfig prefetch_cfg{};
@@ -68,6 +81,25 @@ inline std::byte pattern_byte(std::uint64_t tag, std::uint64_t off) {
 }
 
 void fill_pattern(std::uint64_t tag, FileOffset start, std::span<std::byte> out);
+
+// Offset plans for the noncontiguous patterns; shared by the reader's seek
+// targets and the byte-pattern verification so both always agree.
+
+/// Node `rank`'s read k under kStrided: (rank + k*nprocs*stride)*request.
+FileOffset strided_offset(const WorkloadSpec& w, int rank, int nprocs, std::uint64_t k);
+/// Reads per node under kStrided (the sampling scan visits 1/stride of the
+/// file): file_size / (request * nprocs * stride).
+std::uint64_t strided_reads_per_node(const WorkloadSpec& w, int nprocs);
+
+/// Bytes one kListIo frame spans: (2*extents + 1) requests (extents are a
+/// request wide, separated by request-sized holes, plus a one-request skip
+/// to the next frame).
+ByteCount listio_frame_bytes(const WorkloadSpec& w);
+/// Node `rank`'s read k under kListIo: extent (k % extents) of frame
+/// (k / extents) inside the node's own region.
+FileOffset listio_offset(const WorkloadSpec& w, int rank, int nprocs, std::uint64_t k);
+/// Reads per node under kListIo: whole frames in the region, extents each.
+std::uint64_t listio_reads_per_node(const WorkloadSpec& w, int nprocs);
 
 /// Index of the first mismatching byte, or npos when clean.
 std::size_t find_pattern_mismatch(std::uint64_t tag, FileOffset start,

@@ -82,6 +82,26 @@ sim::ByteCount parse_size_for(const std::string& flag, const std::string& text) 
   return v * mult;
 }
 
+AccessPattern parse_pattern(const std::string& text) {
+  if (text == "interleaved") return AccessPattern::kInterleaved;
+  if (text == "own-region") return AccessPattern::kOwnRegion;
+  if (text == "strided") return AccessPattern::kStrided;
+  if (text == "listio" || text == "list-io") return AccessPattern::kListIo;
+  throw CliError("--pattern", "unknown pattern: '" + text +
+                                  "' (interleaved|own-region|strided|listio)");
+}
+
+prefetch::PredictorKind parse_predictor(const std::string& text) {
+  if (text == "mode-aware") return prefetch::PredictorKind::kModeAware;
+  if (text == "sequential") return prefetch::PredictorKind::kSequential;
+  if (text == "strided") return prefetch::PredictorKind::kStrided;
+  if (text == "list-io" || text == "listio") return prefetch::PredictorKind::kListIo;
+  if (text == "ensemble") return prefetch::PredictorKind::kEnsemble;
+  throw CliError("--predictor",
+                 "unknown predictor: '" + text +
+                     "' (mode-aware|sequential|strided|list-io|ensemble)");
+}
+
 }  // namespace
 
 sim::ByteCount parse_size(const std::string& text) { return parse_size_for("", text); }
@@ -106,6 +126,13 @@ the paper's metrics.
   --prefetch            enable the client prefetch engine
   --depth <n>           prefetch depth                      (default 1)
   --adaptive            enable the adaptive prefetch throttle
+  --prefetch-adaptive   AdaptaFetch: ensemble predictor + feedback-driven
+                        readahead depth (implies --prefetch; deterministic,
+                        see --prefetch-seed)
+  --prefetch-max-depth <n>  adaptive depth ceiling          (default 8)
+  --prefetch-seed <n>   phases the adaptive feedback windows (default 1)
+  --predictor <name>    mode-aware|sequential|strided|list-io|ensemble
+                        (default mode-aware)
   --compare             run with AND without prefetch, print both
   --selfcheck           run each configuration twice; fail on determinism-
                         digest divergence (SimCheck)
@@ -133,6 +160,12 @@ the paper's metrics.
                         default 1024)
   --separate-files      each node reads a private file
   --own-region          M_UNIX/M_ASYNC scan own region instead of interleave
+  --pattern <p>         M_UNIX/M_ASYNC access pattern: interleaved (default),
+                        own-region, strided (constant-stride sampling scan),
+                        listio (gapped vector-of-extents frames)
+  --stride <n>          rounds skipped by --pattern strided  (default 4)
+  --listio-extents <n>  extents per frame for --pattern listio, 1..8
+                        (default 4)
   --verify              check every byte against the written pattern
   --faults <plan>       arm a fault plan at the start of the read phase.
                         ';'-separated events "kind:key=val,...":
@@ -201,6 +234,21 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       ++i;
     } else if (a == "--adaptive") {
       opt.workload.prefetch_cfg.adaptive = true;
+    } else if (a == "--prefetch-adaptive") {
+      opt.workload.prefetch = true;
+      opt.workload.prefetch_cfg.adaptive_depth = true;
+      opt.workload.prefetch_cfg.predictor = prefetch::PredictorKind::kEnsemble;
+    } else if (a == "--prefetch-max-depth") {
+      opt.workload.prefetch_cfg.max_depth =
+          static_cast<std::size_t>(parse_count(a, need_value(i, a), 1));
+      ++i;
+    } else if (a == "--prefetch-seed") {
+      opt.workload.prefetch_cfg.adaptive_seed =
+          static_cast<std::uint64_t>(parse_count(a, need_value(i, a), 0));
+      ++i;
+    } else if (a == "--predictor") {
+      opt.workload.prefetch_cfg.predictor = parse_predictor(need_value(i, a));
+      ++i;
     } else if (a == "--compare") {
       opt.compare = true;
     } else if (a == "--selfcheck") {
@@ -250,6 +298,19 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.workload.separate_files = true;
     } else if (a == "--own-region") {
       opt.workload.pattern = AccessPattern::kOwnRegion;
+    } else if (a == "--pattern") {
+      opt.workload.pattern = parse_pattern(need_value(i, a));
+      ++i;
+    } else if (a == "--stride") {
+      opt.workload.stride = parse_count(a, need_value(i, a), 1);
+      ++i;
+    } else if (a == "--listio-extents") {
+      opt.workload.listio_extents = parse_count(a, need_value(i, a), 1);
+      if (opt.workload.listio_extents >
+          static_cast<int>(prefetch::ListIoPredictor::kMaxPeriod)) {
+        throw CliError(a, "must be <= 8");
+      }
+      ++i;
     } else if (a == "--verify") {
       opt.workload.verify = true;
     } else if (a == "--faults") {

@@ -51,6 +51,16 @@ struct Testbed {
   std::vector<std::unique_ptr<pfs::PfsClient>> clients;
 };
 
+/// Old-style convenience over the observe/predict split: feed the read into
+/// history, then collect up to `depth` predictions into a vector.
+std::vector<FileOffset> predict_vec(Predictor& p, pfs::PfsClient& c, int fd,
+                                    FileOffset off, ByteCount len, std::size_t depth) {
+  p.observe(c, fd, off, len);
+  std::vector<FileOffset> out(depth);
+  out.resize(p.predict(c, fd, off, len, out));
+  return out;
+}
+
 TEST(PrefetchBufferList, ExactMatchFindAndRemove) {
   PrefetchBufferList list;
   auto b = std::make_shared<PrefetchBuffer>();
@@ -97,7 +107,7 @@ TEST(Predictor, SequentialPredictsNextBlocks) {
   run_task(tb.sim, [](Testbed& t) -> Task<void> {
     const int fd = co_await t.clients[0]->open("f", IoMode::kAsync);
     SequentialPredictor p;
-    auto v = p.predict(*t.clients[0], fd, 0, 64 * 1024, 3);
+    auto v = predict_vec(p, *t.clients[0], fd, 0, 64 * 1024, 3);
     EXPECT_EQ(v.size(), 3u);
     if (v.size() == 3) {
       EXPECT_EQ(v[0], 64u * 1024);
@@ -105,7 +115,7 @@ TEST(Predictor, SequentialPredictsNextBlocks) {
       EXPECT_EQ(v[2], 192u * 1024);
     }
     // Near EOF it truncates.
-    auto w = p.predict(*t.clients[0], fd, 960 * 1024, 64 * 1024, 3);
+    auto w = predict_vec(p, *t.clients[0], fd, 960 * 1024, 64 * 1024, 3);
     EXPECT_EQ(w.size(), 0u);
     t.clients[0]->close(fd);
   }(tb));
@@ -120,7 +130,7 @@ TEST(Predictor, ModeAwareFollowsRecordInterleave) {
     std::vector<std::byte> buf(64 * 1024);
     co_await c.read(fd, buf);  // record 2; pointer now one round in
     ModeAwarePredictor p;
-    auto v = p.predict(c, fd, 2 * 64 * 1024, 64 * 1024, 2);
+    auto v = predict_vec(p, c, fd, 2 * 64 * 1024, 64 * 1024, 2);
     EXPECT_EQ(v.size(), 2u);
     if (v.size() == 2) {
       EXPECT_EQ(v[0], (8u + 2) * 64 * 1024);   // next round, rank 2
@@ -136,7 +146,7 @@ TEST(Predictor, ModeAwareDeclinesUnpredictableModes) {
   run_task(tb.sim, [](Testbed& t) -> Task<void> {
     const int fd = co_await t.clients[0]->open("f", IoMode::kLog);
     ModeAwarePredictor p;
-    EXPECT_TRUE(p.predict(*t.clients[0], fd, 0, 64 * 1024, 1).empty());
+    EXPECT_TRUE(predict_vec(p, *t.clients[0], fd, 0, 64 * 1024, 1).empty());
     t.clients[0]->close(fd);
   }(tb));
 }
@@ -148,16 +158,16 @@ TEST(Predictor, StridedLearnsAndForgets) {
     const int fd = co_await t.clients[0]->open("f", IoMode::kAsync);
     StridedPredictor p;
     auto& c = *t.clients[0];
-    EXPECT_TRUE(p.predict(c, fd, 0, 4096, 2).empty());        // no history
-    EXPECT_TRUE(p.predict(c, fd, 100000, 4096, 2).empty());   // one delta
-    auto v = p.predict(c, fd, 200000, 4096, 2);  // stride confirmed
+    EXPECT_TRUE(predict_vec(p, c, fd, 0, 4096, 2).empty());   // no history
+    EXPECT_TRUE(predict_vec(p, c, fd, 100000, 4096, 2).empty());  // one delta
+    auto v = predict_vec(p, c, fd, 200000, 4096, 2);  // stride confirmed
     EXPECT_EQ(v.size(), 2u);
     if (v.size() == 2) {
       EXPECT_EQ(v[0], 300000u);
       EXPECT_EQ(v[1], 400000u);
     }
     // Pattern break resets confidence.
-    EXPECT_TRUE(p.predict(c, fd, 123, 4096, 2).empty());
+    EXPECT_TRUE(predict_vec(p, c, fd, 123, 4096, 2).empty());
     t.clients[0]->close(fd);
   }(tb));
 }

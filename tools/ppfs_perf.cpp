@@ -25,8 +25,21 @@
 //    default-constructed machine produces a digest bit-identical to one
 //    with every stage explicitly disabled (the stages must stay opt-in).
 //
+//  * prefetch — runs the bench_ablation_adaptive grid (shared scenario
+//    definitions in bench_common.hpp) serially and with --jobs, asserts
+//    per-scenario digest identity between the two (adaptive depth included
+//    — the seeded-adaptation determinism contract), writes the rows to
+//    BENCH_prefetch.json, and gates three floors: adaptive-vs-fixed-1
+//    MB/s on the sequential row (--min-prefetch-seq-speedup), on the
+//    worst strided/list-I/O row (--min-prefetch-pattern-speedup), and
+//    the worst adaptive useful-prefetch ratio
+//    (--min-prefetch-useful-ratio).
+//
 //   $ ppfs_perf --jobs 4 --min-events-per-sec 250000
-//               --min-datapath-speedup 1.5 --out-dir .
+//               --min-datapath-speedup 1.5
+//               --min-prefetch-seq-speedup 1.15
+//               --min-prefetch-pattern-speedup 1.3
+//               --min-prefetch-useful-ratio 0.8 --out-dir .
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -115,6 +128,9 @@ struct Args {
   int jobs = exp::SweepRunner::default_jobs();
   double min_events_per_sec = 0;
   double min_datapath_speedup = 0;
+  double min_prefetch_seq_speedup = 0;
+  double min_prefetch_pattern_speedup = 0;
+  double min_prefetch_useful_ratio = 0;
   bool quick = false;
   std::string out_dir = ".";
 };
@@ -129,6 +145,12 @@ Args parse(int argc, char** argv) {
       a.min_events_per_sec = std::atof(argv[++i]);
     } else if (s == "--min-datapath-speedup" && i + 1 < argc) {
       a.min_datapath_speedup = std::atof(argv[++i]);
+    } else if (s == "--min-prefetch-seq-speedup" && i + 1 < argc) {
+      a.min_prefetch_seq_speedup = std::atof(argv[++i]);
+    } else if (s == "--min-prefetch-pattern-speedup" && i + 1 < argc) {
+      a.min_prefetch_pattern_speedup = std::atof(argv[++i]);
+    } else if (s == "--min-prefetch-useful-ratio" && i + 1 < argc) {
+      a.min_prefetch_useful_ratio = std::atof(argv[++i]);
     } else if (s == "--quick") {
       a.quick = true;
     } else if (s == "--out-dir" && i + 1 < argc) {
@@ -136,7 +158,10 @@ Args parse(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ppfs_perf [--jobs <n>] [--min-events-per-sec <x>]"
-                   " [--min-datapath-speedup <x>] [--quick] [--out-dir <dir>]\n");
+                   " [--min-datapath-speedup <x>]"
+                   " [--min-prefetch-seq-speedup <x>]"
+                   " [--min-prefetch-pattern-speedup <x>]"
+                   " [--min-prefetch-useful-ratio <x>] [--quick] [--out-dir <dir>]\n");
       std::exit(2);
     }
   }
@@ -359,6 +384,113 @@ int main(int argc, char** argv) {
       .field("gate_pass", dp_ok && defaults_legacy)
       .raw("rows", dp_rows.str());
   write_json_file(args.out_dir + "/BENCH_datapath_gate.json", dp_doc.str());
+
+  // ---- prefetch section ---------------------------------------------------
+  // The AdaptaFetch efficiency gate: the bench_ablation_adaptive grid
+  // (shared via bench_common.hpp, so the committed BENCH_prefetch.json rows
+  // match the paper-figure bench exactly), run both serially and with
+  // --jobs workers. Three floors — adaptive vs fixed-1 MB/s on the
+  // sequential row, adaptive vs fixed-1 on the worst pattern (strided /
+  // list-I/O) row, and the worst adaptive useful-prefetch ratio — plus the
+  // determinism contract: every scenario digest, adaptive included, must
+  // be bit-identical between the serial and parallel sweeps.
+  const auto pf_jobs = adapta_jobs(args.quick);
+  const auto pf_serial = exp::run_sweep(pf_jobs, 1);
+  const auto pf_parallel = exp::run_sweep(pf_jobs, args.jobs);
+  bool pf_ok = pf_serial.all_ok() && pf_parallel.all_ok();
+  bool pf_digests_identical = pf_ok;
+  double pf_seq_speedup = 0, pf_pattern_speedup = 0, pf_min_useful = 1.0;
+  JsonArray pf_rows;
+  if (pf_ok) {
+    for (std::size_t i = 0; i < pf_serial.outcomes.size(); ++i) {
+      const auto& s = pf_serial.outcomes[i];
+      const auto& p = pf_parallel.outcomes[i];
+      if (s.result.digest != p.result.digest ||
+          s.result.events_dispatched != p.result.events_dispatched) {
+        std::fprintf(stderr,
+                     "ppfs_perf: prefetch digest diverged for '%s': %016llx vs %016llx\n",
+                     s.label.c_str(), (unsigned long long)s.result.digest,
+                     (unsigned long long)p.result.digest);
+        pf_digests_identical = false;
+      }
+    }
+    std::size_t idx = 0;
+    for (std::size_t ri = 0; ri < kAdaptaRowCount; ++ri) {
+      double fixed1_bw = 0;
+      for (std::size_t ci = 0; ci < kAdaptaConfigCount; ++ci, ++idx) {
+        const auto& o = pf_serial.outcomes[idx];
+        const auto& pf = o.result.prefetch;
+        if (ci == 0) fixed1_bw = o.result.observed_read_bw_mbs;
+        const double ratio =
+            fixed1_bw > 0 ? o.result.observed_read_bw_mbs / fixed1_bw : 0;
+        if (kAdaptaConfigs[ci].adaptive) {
+          if (ri == 0) {
+            pf_seq_speedup = ratio;
+          } else {
+            pf_pattern_speedup =
+                pf_pattern_speedup == 0 ? ratio : std::min(pf_pattern_speedup, ratio);
+          }
+          pf_min_useful = std::min(pf_min_useful, pf.useful_ratio());
+        }
+        std::printf("prefetch %-20s %7.2f MB/s (%.2fx fixed-1)  hit %5.1f%%  useful %5.1f%%\n",
+                    o.label.c_str(), o.result.observed_read_bw_mbs, ratio,
+                    pf.hit_ratio() * 100, pf.useful_ratio() * 100);
+        JsonObject row = outcome_json(o);
+        row.field("pattern", kAdaptaRows[ri].name)
+            .field("config", kAdaptaConfigs[ci].name)
+            .field("adaptive", kAdaptaConfigs[ci].adaptive)
+            .field("speedup_vs_fixed1", ratio)
+            .field("hit_ratio", pf.hit_ratio())
+            .field("useful_ratio", pf.useful_ratio())
+            .field("wasted_bytes", static_cast<std::uint64_t>(pf.wasted_bytes))
+            .field("depth_ramp_ups", pf.depth_ramp_ups)
+            .field("depth_ramp_downs", pf.depth_ramp_downs)
+            .field("depth_collapses", pf.depth_collapses);
+        pf_rows.add(row);
+      }
+    }
+    if (args.min_prefetch_seq_speedup > 0 &&
+        pf_seq_speedup < args.min_prefetch_seq_speedup) {
+      std::fprintf(stderr, "ppfs_perf: adaptive sequential speedup below floor (%.2fx < %.2fx)\n",
+                   pf_seq_speedup, args.min_prefetch_seq_speedup);
+      pf_ok = false;
+    }
+    if (args.min_prefetch_pattern_speedup > 0 &&
+        pf_pattern_speedup < args.min_prefetch_pattern_speedup) {
+      std::fprintf(stderr, "ppfs_perf: adaptive pattern speedup below floor (%.2fx < %.2fx)\n",
+                   pf_pattern_speedup, args.min_prefetch_pattern_speedup);
+      pf_ok = false;
+    }
+    if (args.min_prefetch_useful_ratio > 0 &&
+        pf_min_useful < args.min_prefetch_useful_ratio) {
+      std::fprintf(stderr, "ppfs_perf: adaptive useful-prefetch ratio below floor (%.2f < %.2f)\n",
+                   pf_min_useful, args.min_prefetch_useful_ratio);
+      pf_ok = false;
+    }
+  }
+  if (!pf_digests_identical) pf_ok = false;
+  std::printf("prefetch adaptive speedups: sequential %.2fx (floor %.2fx), worst pattern "
+              "%.2fx (floor %.2fx), useful %.1f%% (floor %.1f%%), digests %s\n",
+              pf_seq_speedup, args.min_prefetch_seq_speedup, pf_pattern_speedup,
+              args.min_prefetch_pattern_speedup, pf_min_useful * 100,
+              args.min_prefetch_useful_ratio * 100,
+              pf_digests_identical ? "identical" : "DIVERGED");
+  if (!pf_ok) ok = false;
+
+  JsonObject pf_doc;
+  pf_doc.field("bench", "prefetch_adaptive")
+      .field("build", build_flavor())
+      .field("quick", args.quick)
+      .field("sequential_speedup", pf_seq_speedup)
+      .field("worst_pattern_speedup", pf_pattern_speedup)
+      .field("min_useful_ratio", pf_min_useful)
+      .field("min_prefetch_seq_speedup", args.min_prefetch_seq_speedup)
+      .field("min_prefetch_pattern_speedup", args.min_prefetch_pattern_speedup)
+      .field("min_prefetch_useful_ratio", args.min_prefetch_useful_ratio)
+      .field("digests_identical", pf_digests_identical)
+      .field("gate_pass", pf_ok)
+      .raw("rows", pf_rows.str());
+  write_json_file(args.out_dir + "/BENCH_prefetch.json", pf_doc.str());
 
   std::printf("ppfs_perf: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -48,6 +48,22 @@ void print_result(const char* label, const ExperimentResult& r) {
                   (unsigned long long)p.shed, (unsigned long long)p.fault_pauses,
                   (unsigned long long)p.fault_skips);
     }
+    if (r.spec.prefetch_cfg.adaptive_depth) {
+      std::printf("  adaptive depth: ramp-ups=%llu ramp-downs=%llu collapses=%llu "
+                  "useful=%.1f%% wasted-bytes=%llu\n",
+                  (unsigned long long)p.depth_ramp_ups,
+                  (unsigned long long)p.depth_ramp_downs,
+                  (unsigned long long)p.depth_collapses, p.useful_ratio() * 100.0,
+                  (unsigned long long)p.wasted_bytes);
+      std::printf("  depth histogram:");
+      for (std::size_t b = 0; b < prefetch::PrefetchStats::kDepthHistBuckets; ++b) {
+        if (p.depth_hist[b] == 0) continue;
+        std::printf(" %zu%s=%llu", b,
+                    b + 1 == prefetch::PrefetchStats::kDepthHistBuckets ? "+" : "",
+                    (unsigned long long)p.depth_hist[b]);
+      }
+      std::printf("\n");
+    }
   }
   std::printf("  rpcs: data=%llu metadata=%llu pointer=%llu", (unsigned long long)r.data_rpcs,
               (unsigned long long)r.metadata_rpcs, (unsigned long long)r.pointer_rpcs);
