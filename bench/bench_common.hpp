@@ -16,6 +16,7 @@
 
 #include "exp/sweep.hpp"
 #include "workload/experiment.hpp"
+#include "workload/open_arrival.hpp"
 #include "workload/report.hpp"
 
 namespace ppfs::bench {
@@ -292,6 +293,56 @@ inline std::vector<exp::SweepJob> adapta_jobs(bool quick) {
     }
   }
   return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// ScaleSim machine-size grid — shared by bench_scale and the ppfs_perf
+// scale gate so the committed BENCH_scale.json and the scaling table in
+// EXPERIMENTS.md always measure the exact same scenarios.
+
+struct ScaleRow {
+  const char* name;
+  int ncompute;
+  int nio;
+  int tenants;
+  std::uint64_t requests_per_client;
+  bool full_only;  // skipped with --quick (the production-scale rows)
+};
+
+inline constexpr ScaleRow kScaleRows[] = {
+    {"8x8", 8, 8, 4, 32, false},        // the paper's machine
+    {"64x16", 64, 16, 8, 16, false},    // a full cabinet
+    {"256x64", 256, 64, 16, 8, true},   // multi-cabinet
+    {"1024x256", 1024, 256, 32, 8, true},  // production scale
+};
+inline constexpr std::size_t kScaleRowCount = sizeof kScaleRows / sizeof kScaleRows[0];
+
+inline workload::MachineSpec scale_machine(const ScaleRow& row) {
+  workload::MachineSpec m;
+  m.ncompute = row.ncompute;
+  m.nio = row.nio;
+  return m;
+}
+
+inline workload::OpenArrivalSpec scale_spec(const ScaleRow& row, bool quick) {
+  workload::OpenArrivalSpec s;
+  s.tenants = row.tenants;
+  s.requests_per_client = quick ? row.requests_per_client / 2 : row.requests_per_client;
+  if (s.requests_per_client == 0) s.requests_per_client = 1;
+  s.request_size = 64 * 1024;
+  // 2 MB per tenant bounds the host-side content store (32 tenants at the
+  // 1024x256 row is 64 MB) while still giving 32 distinct request offsets.
+  s.tenant_file_size = 2 * 1024 * 1024;
+  s.mean_interarrival = 0.05;
+  s.seed = 42;
+  return s;
+}
+
+/// The sharded giant scenario the determinism gate reruns with different
+/// worker counts: one shard per 64 compute nodes (minimum 2).
+inline int scale_shards(const ScaleRow& row) {
+  const int s = row.ncompute / 64;
+  return s < 2 ? 2 : s;
 }
 
 }  // namespace ppfs::bench

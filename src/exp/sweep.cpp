@@ -33,6 +33,33 @@ SweepOutcome run_one(const SweepJob& job) {
 
 }  // namespace
 
+void for_each_index(std::size_t n, int workers, const std::function<void(std::size_t)>& fn) {
+  const int effective =
+      static_cast<int>(std::min<std::size_t>(workers < 1 ? 1 : static_cast<std::size_t>(workers), n));
+  if (effective <= 1) {
+    // Serial reference path: index order on the calling thread. This is
+    // the digest baseline every parallel run must reproduce exactly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Work-stealing-free pool: each worker claims the next unstarted index
+  // through the atomic counter; per-index output slots are disjoint, so
+  // the merge is lock-free and submission-ordered no matter which worker
+  // finishes first.
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(effective));
+  for (int w = 0; w < effective; ++w) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+}
+
 bool SweepReport::all_ok() const noexcept {
   for (const auto& o : outcomes) {
     if (!o.error.empty()) return false;
@@ -50,32 +77,8 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& batch) const {
   report.jobs = jobs_;
   report.outcomes.resize(batch.size());
   const auto t0 = std::chrono::steady_clock::now();
-  const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(jobs_), batch.size()));
-  if (workers <= 1) {
-    // Serial reference path: submission order on the calling thread. This
-    // is the digest baseline the parallel path must reproduce exactly.
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      report.outcomes[i] = run_one(batch[i]);
-    }
-  } else {
-    // Work-stealing-free pool: each worker claims the next unstarted job
-    // through the atomic counter and writes outcome slot i, which no other
-    // thread touches — the merge is lock-free and submission-ordered no
-    // matter which worker finishes first.
-    std::atomic<std::size_t> next{0};
-    const auto work = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batch.size()) return;
-        report.outcomes[i] = run_one(batch[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (auto& t : pool) t.join();
-  }
+  for_each_index(batch.size(), jobs_,
+                 [&](std::size_t i) { report.outcomes[i] = run_one(batch[i]); });
   report.seconds = seconds_since(t0);
   return report;
 }

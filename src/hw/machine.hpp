@@ -13,6 +13,7 @@
 #include "hw/mesh.hpp"
 #include "hw/node.hpp"
 #include "hw/raid.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
@@ -30,6 +31,15 @@ struct MachineConfig {
   /// (default 8+8 on a 4x4 mesh), one SCSI-8 RAID per I/O node.
   static MachineConfig paragon(int ncompute = 8, int nio = 8,
                                RaidParams raid_params = RaidParams::scsi8());
+
+  /// Production-scale variant: same compute-from-the-bottom /
+  /// I/O-from-the-top placement, but on a near-square mesh (width ~
+  /// sqrt(total)) instead of paragon()'s fixed width-4 column. At 1024x256
+  /// a width-4 mesh would be 4x320 with ~300-hop worst-case routes; the
+  /// square mesh keeps route lengths O(sqrt(n)), like any real large
+  /// machine. paragon() is untouched so existing digests stay bit-identical.
+  static MachineConfig paragon_scaled(int ncompute, int nio,
+                                      RaidParams raid_params = RaidParams::scsi8());
 };
 
 class Machine {
@@ -51,20 +61,31 @@ class Machine {
   NodeId io_node(int i) const { return cfg_.io_nodes.at(i); }
 
   /// CPU of an arbitrary mesh node.
-  NodeCpu& cpu(NodeId node) { return *cpus_.at(node); }
+  NodeCpu& cpu(NodeId node) { return cpus_.at(node); }
   /// RAID array of the i-th I/O node.
-  RaidArray& raid(int io_index) { return *raids_.at(io_index); }
+  RaidArray& raid(int io_index) { return raids_.at(io_index); }
 
   /// Reverse lookup: which I/O index owns this mesh node (-1 if none).
-  int io_index_of(NodeId node) const;
+  /// O(1): reads the node-indexed shard table, not a scan of io_nodes.
+  int io_index_of(NodeId node) const {
+    if (node < 0 || node >= static_cast<NodeId>(io_index_by_node_.size())) return -1;
+    return io_index_by_node_[static_cast<std::size_t>(node)];
+  }
+
+  /// Footprint of the per-node state arenas (CPUs + RAID arrays + the
+  /// mesh's link arena) — the machine's share of the scale report.
+  std::size_t state_memory_bytes() const noexcept {
+    return cpus_.memory_bytes() + raids_.memory_bytes() + mesh_->links_memory_bytes();
+  }
 
  private:
   sim::Simulation& sim_;
   MachineConfig cfg_;
   sim::Tracer tracer_;
   std::unique_ptr<MeshNetwork> mesh_;
-  std::vector<std::unique_ptr<NodeCpu>> cpus_;        // one per mesh node
-  std::vector<std::unique_ptr<RaidArray>> raids_;     // one per I/O node
+  sim::ShardArena<NodeCpu> cpus_;      // one per mesh node, indexed by node id
+  sim::ShardArena<RaidArray> raids_;   // one per I/O node, indexed by io index
+  std::vector<int> io_index_by_node_;  // mesh node id -> io index (-1 if none)
 };
 
 }  // namespace ppfs::hw

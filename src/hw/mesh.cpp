@@ -1,7 +1,6 @@
 #include "hw/mesh.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,8 +35,8 @@ MeshNetwork::MeshNetwork(sim::Simulation& s, MeshConfig cfg, sim::Tracer* tracer
     throw std::invalid_argument("MeshNetwork: non-positive dimensions");
   }
   const int n_links = cfg_.node_count() * 4;
-  links_.reserve(n_links);
-  for (int i = 0; i < n_links; ++i) links_.push_back(std::make_unique<sim::Resource>(s, 1));
+  links_.reserve(static_cast<std::size_t>(n_links));
+  for (int i = 0; i < n_links; ++i) links_.emplace_back(s, 1);
   link_busy_.assign(n_links, 0.0);
   build_path_table();
 }
@@ -168,7 +167,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
     // Circuit setup: grab the path's links in canonical order
     // (deadlock-free) and hold them for the duration of the transfer.
     sim::InlineVec<sim::ResourceGuard, kInlinePathSlots> held;
-    for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+    for (int id : ordered) held.push_back(co_await links_[static_cast<std::size_t>(id)].acquire());
 
     // Degradation is evaluated at wire time (after circuit setup), so a
     // window that opens while a message waits for links still applies.
@@ -216,7 +215,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
   for (std::uint64_t s = 0; s < nseg; ++s) {
     const ByteCount seg = std::min<ByteCount>(cfg_.mtu, bytes - s * cfg_.mtu);
     if (held.empty()) {
-      for (int id : ordered) held.push_back(co_await links_[id]->acquire());
+      for (int id : ordered) held.push_back(co_await links_[static_cast<std::size_t>(id)].acquire());
     }
 
     // The head segment pays the per-hop router latency; later segments
@@ -244,7 +243,7 @@ sim::Task<void> MeshNetwork::send(NodeId src, NodeId dst, ByteCount bytes) {
     if (s + 1 < nseg) {
       bool contended = false;
       for (int id : ordered) {
-        if (links_[id]->queue_length() > 0) {
+        if (links_[static_cast<std::size_t>(id)].queue_length() > 0) {
           contended = true;
           break;
         }

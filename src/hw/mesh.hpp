@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
@@ -101,6 +102,12 @@ class MeshNetwork {
   /// (ties broken by ascending id). Links with zero busy time are omitted.
   std::vector<std::pair<int, SimTime>> top_busy_links(std::size_t k) const;
 
+  /// Footprint of the link-state arena plus the busy-time table — the
+  /// mesh's contribution to Machine::state_memory_bytes().
+  std::size_t links_memory_bytes() const noexcept {
+    return links_.memory_bytes() + link_busy_.capacity() * sizeof(SimTime);
+  }
+
  private:
   // Directed link leaving `node` toward direction d (0=+x,1=-x,2=+y,3=-y).
   int link_id(NodeId node, int dir) const { return node * 4 + dir; }
@@ -148,7 +155,11 @@ class MeshNetwork {
   sim::Simulation& sim_;
   MeshConfig cfg_;
   sim::Tracer* tracer_;
-  std::vector<std::unique_ptr<sim::Resource>> links_;
+  // One capacity-1 Resource per directed link, indexed by link id. The
+  // shard arena keeps all 4*node_count link states in one contiguous
+  // block — Resources are address-pinned (auditor registration), which
+  // the arena's no-relocation contract supports.
+  sim::ShardArena<sim::Resource> links_;
   std::vector<SimTime> link_busy_;
   std::vector<DegradedWindow> degraded_windows_;
   std::uint64_t degraded_messages_ = 0;

@@ -10,9 +10,9 @@ PfsFileSystem::PfsFileSystem(hw::Machine& machine, PfsParams params)
       metadata_node_(machine.io_node(0)),
       pointers_(machine, metadata_node_, params_.pointer_service_time),
       collectives_(machine, metadata_node_, pointers_, params_.pointer_service_time) {
+  servers_.reserve(static_cast<std::size_t>(machine.io_node_count()));
   for (int i = 0; i < machine.io_node_count(); ++i) {
-    servers_.push_back(std::make_unique<PfsServer>(machine, i, params_));
-    servers_.back()->set_topology_epoch_counter(&topology_epoch_);
+    servers_.emplace_back(machine, i, params_).set_topology_epoch_counter(&topology_epoch_);
   }
 }
 
@@ -43,7 +43,7 @@ PfsFileMeta& PfsFileSystem::create(const std::string& name, StripeAttrs attrs) {
   for (int slot = 0; slot < attrs.group_size(); ++slot) {
     const int io = attrs.stripe_group[slot];
     meta->stripe_inos.push_back(
-        servers_[io]->ufs().create(name + ".s" + std::to_string(slot)));
+        servers_[static_cast<std::size_t>(io)].ufs().create(name + ".s" + std::to_string(slot)));
   }
   PfsFileMeta& ref = *meta;
   by_id_[ref.id] = meta.get();

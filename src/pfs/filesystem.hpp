@@ -16,6 +16,7 @@
 #include "pfs/pointer_server.hpp"
 #include "pfs/server.hpp"
 #include "pfs/stripe.hpp"
+#include "sim/shard.hpp"
 #include "ufs/inode.hpp"
 
 namespace ppfs::pfs {
@@ -50,13 +51,13 @@ class PfsFileSystem {
   /// Default striping for this mount: unit 64 KB, group = all I/O nodes.
   StripeAttrs default_attrs() const;
 
-  PfsServer& server(int io_index) { return *servers_.at(io_index); }
+  PfsServer& server(int io_index) { return servers_.at(static_cast<std::size_t>(io_index)); }
   int server_count() const { return static_cast<int>(servers_.size()); }
   /// True while any I/O daemon is in a crash outage — the prefetch engine
   /// uses this to pause speculation until the system is whole again.
   bool any_server_down() const {
     for (const auto& s : servers_) {
-      if (s->down()) return true;
+      if (s.down()) return true;
     }
     return false;
   }
@@ -77,7 +78,10 @@ class PfsFileSystem {
   hw::Machine& machine_;
   PfsParams params_;
   hw::NodeId metadata_node_;
-  std::vector<std::unique_ptr<PfsServer>> servers_;
+  // Per-I/O-node server state, io-index-ordered in one contiguous arena
+  // (PfsServer is address-pinned: it hands out references to its Ufs and
+  // params, which the arena's no-relocation contract preserves).
+  sim::ShardArena<PfsServer> servers_;
   PointerService pointers_;
   CollectiveService collectives_;
   std::map<std::string, std::unique_ptr<PfsFileMeta>> files_;

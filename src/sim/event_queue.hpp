@@ -63,6 +63,21 @@ class EventQueue {
   bool empty() const noexcept { return count_ == 0; }
   std::size_t size() const noexcept { return count_; }
 
+  /// High-water mark of pending events over the queue's lifetime (clear()
+  /// keeps it: it is the run's depth, not the instantaneous one). The scale
+  /// bench gates on this to prove deep-backlog runs stay tractable.
+  std::size_t peak_pending() const noexcept { return peak_count_; }
+
+  /// Bytes of owned storage (heap nodes, tie buckets, chunk pool, free
+  /// lists, append cache). Capacities, not sizes: pools only grow, so this
+  /// is the footprint high-water the queue will hold until destruction.
+  std::size_t memory_bytes() const noexcept {
+    return heap_.capacity() * sizeof(Node) + buckets_.capacity() * sizeof(Bucket) +
+           chunks_.capacity() * sizeof(Chunk) +
+           (free_buckets_.capacity() + free_chunks_.capacity()) * sizeof(std::uint32_t) +
+           sizeof(cache_);
+  }
+
   /// Time of the earliest pending event. Precondition: !empty().
   SimTime top_time() const noexcept {
     assert(count_ != 0);
@@ -188,6 +203,7 @@ class EventQueue {
     std::uint64_t tb = std::bit_cast<std::uint64_t>(t);
     if (tb == kNegZeroTb) tb = 0;  // -0.0 sorts (and digests) as +0.0
     ++count_;
+    if (count_ > peak_count_) peak_count_ = count_;
     CacheEnt& ce = cache_[cache_slot(tb)];
     if (ce.tb == tb) {
       append(buckets_[ce.bucket], seq, h, std::move(fn));
@@ -277,6 +293,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_chunks_;
   CacheEnt cache_[kCacheSize];
   std::size_t count_ = 0;
+  std::size_t peak_count_ = 0;
 };
 
 }  // namespace ppfs::sim

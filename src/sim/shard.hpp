@@ -1,0 +1,112 @@
+// ShardArena: cache-local per-node state storage for production-scale runs.
+//
+// Simulation entities that exist once per mesh node (link Resources, node
+// CPUs, RAID arrays, PFS servers) used to live behind one unique_ptr each,
+// so a 1024x256 machine paid one heap allocation — and one pointer chase —
+// per entity, and "adjacent" nodes landed on unrelated cache lines. A
+// ShardArena places the objects themselves contiguously, indexed by node
+// id, in one aligned block: walking node state becomes a linear scan, and
+// the per-entity malloc header overhead disappears.
+//
+// The contract is deliberately narrow, because the stored types are
+// non-movable (Resources register with the SimCheck auditor by address;
+// PfsServer keeps references into itself):
+//  * capacity is fixed once by reserve() — elements are constructed in
+//    place with emplace_back() and NEVER move or reallocate afterwards,
+//    so raw pointers and references into the arena stay valid for its
+//    whole lifetime;
+//  * construction order is index order (node id order), exactly matching
+//    the vector<unique_ptr> layout it replaces, so event digests are
+//    bit-identical;
+//  * destruction runs in reverse construction order, like a C array.
+//
+// memory_bytes() reports the arena's single-block footprint; the scale
+// bench sums these across the machine to hold bytes/entity flat as the
+// mesh grows.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace ppfs::sim {
+
+template <typename T>
+class ShardArena {
+ public:
+  ShardArena() = default;
+  /// Convenience: reserve immediately.
+  explicit ShardArena(std::size_t capacity) { reserve(capacity); }
+
+  ShardArena(const ShardArena&) = delete;
+  ShardArena& operator=(const ShardArena&) = delete;
+
+  ~ShardArena() { release(); }
+
+  /// Allocate storage for exactly `capacity` elements. One-shot: the arena
+  /// must be unreserved (elements never relocate, so there is no grow path).
+  void reserve(std::size_t capacity) {
+    if (storage_ != nullptr) {
+      throw std::logic_error("ShardArena: already reserved (capacity is one-shot)");
+    }
+    if (capacity == 0) return;
+    storage_ = static_cast<T*>(
+        ::operator new(capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    capacity_ = capacity;
+  }
+
+  /// Construct the next element in place (index == size() before the call).
+  /// Returns a reference that stays valid for the arena's lifetime.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      throw std::length_error("ShardArena: emplace_back past reserved capacity");
+    }
+    T* slot = storage_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  T& operator[](std::size_t i) noexcept { return storage_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return storage_[i]; }
+
+  T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("ShardArena: index out of range");
+    return storage_[i];
+  }
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("ShardArena: index out of range");
+    return storage_[i];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Footprint of the arena's block (reserved, not just constructed).
+  std::size_t memory_bytes() const noexcept { return capacity_ * sizeof(T); }
+
+  T* begin() noexcept { return storage_; }
+  T* end() noexcept { return storage_ + size_; }
+  const T* begin() const noexcept { return storage_; }
+  const T* end() const noexcept { return storage_ + size_; }
+
+ private:
+  void release() noexcept {
+    for (std::size_t i = size_; i > 0; --i) storage_[i - 1].~T();
+    size_ = 0;
+    if (storage_ != nullptr) {
+      ::operator delete(storage_, std::align_val_t{alignof(T)});
+      storage_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  T* storage_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace ppfs::sim

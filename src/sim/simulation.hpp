@@ -98,6 +98,13 @@ class Simulation {
 
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// High-water mark of pending events across the whole run — the queue
+  /// depth the kernel actually had to sustain (see EventQueue::peak_pending).
+  std::size_t peak_pending_events() const noexcept { return queue_.peak_pending(); }
+  /// Owned event-queue storage in bytes (pool capacities — the footprint
+  /// high-water). Deterministic for a given scenario, so scale tests can
+  /// gate on it without touching OS RSS.
+  std::size_t event_queue_bytes() const noexcept { return queue_.memory_bytes(); }
   /// Number of spawned processes that have not yet completed. A nonzero
   /// value after run() returns means some process is blocked forever
   /// (e.g. waiting on an Event nobody sets) — usually a bug in the model.

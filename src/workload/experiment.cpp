@@ -12,6 +12,7 @@
 #include "pfs/filesystem.hpp"
 #include "sim/check/audit.hpp"
 #include "sim/event.hpp"
+#include "sim/frame_arena.hpp"
 #include "sim/simulation.hpp"
 #include "sim/when_all.hpp"
 
@@ -61,7 +62,7 @@ struct NodeOutcome {
   std::uint64_t reads = 0;
   std::uint64_t verify_failures = 0;
   std::uint64_t app_errors = 0;  // FaultErrors surfaced to the application
-  std::vector<SimTime> latencies;  // per read call
+  sim::StreamingQuantiles latencies;  // per read call, fixed footprint
 };
 
 /// Expected file offset of read k for verification purposes.
@@ -121,7 +122,7 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
       // request, like a real program retrying at its own level would.
       read_failed = true;
     }
-    out.latencies.push_back(client.machine().simulation().now() - call_start);
+    out.latencies.add(client.machine().simulation().now() - call_start);
     out.bytes += got;
     ++out.reads;
     if (read_failed) ++out.app_errors;
@@ -304,7 +305,7 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
     res.faults.app_errors += outcomes[r].app_errors;
     t0 = std::min(t0, outcomes[r].start);
     t1 = std::max(t1, outcomes[r].end);
-    for (SimTime lat : outcomes[r].latencies) res.read_latencies.add(lat);
+    res.read_latencies.merge(outcomes[r].latencies);
     const SimTime rt = clients[r]->stats().read_time - read_time_base[r];
     res.node_read_time.push_back(rt);
     res.max_node_read_time = std::max(res.max_node_read_time, rt);
@@ -405,6 +406,14 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
   res.wall_bw_mbs = sim::megabytes_per_second(res.total_bytes, res.wall_elapsed);
   res.digest = sim.digest();
   res.events_dispatched = sim.events_dispatched();
+  res.peak_pending_events = sim.peak_pending_events();
+  res.event_queue_bytes = sim.event_queue_bytes();
+  res.frame_arena_bytes = sim::FrameArena::local().stats().cached_bytes;
+  res.bytes_per_event =
+      res.events_dispatched
+          ? static_cast<double>(res.event_queue_bytes + res.frame_arena_bytes) /
+                static_cast<double>(res.events_dispatched)
+          : 0.0;
   // The post-run hook sees the live mount (fsck audits, corruption
   // injection for tests) after metrics are final but before teardown.
   if (post_run) post_run(fs);

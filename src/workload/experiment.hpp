@@ -53,8 +53,11 @@ struct ExperimentResult {
   std::vector<sim::SimTime> node_read_time;
   sim::SimTime max_node_read_time = 0;
   sim::SimTime mean_read_call_time = 0;
-  /// Per-read-call latency distribution across all nodes.
-  sim::SampleSet read_latencies;
+  /// Per-read-call latency distribution across all nodes. Streaming and
+  /// fixed-footprint (log2-bin sketch): the result's memory no longer grows
+  /// with the number of reads, which is what keeps bytes/event flat on
+  /// production-scale runs.
+  sim::StreamingQuantiles read_latencies;
 
   double observed_read_bw_mbs = 0;  // total_bytes / max_node_read_time
   double wall_bw_mbs = 0;           // total_bytes / wall_elapsed
@@ -107,6 +110,17 @@ struct ExperimentResult {
   /// same spec must agree bit-for-bit — see ppfs_run --selfcheck.
   std::uint64_t digest = 0;
   std::uint64_t events_dispatched = 0;
+
+  /// Memory-footprint counters (deterministic — derived from kernel pool
+  /// capacities, not OS RSS, so tests can gate on them). peak_pending_events
+  /// is the event-queue depth high-water; bytes_per_event is the kernel
+  /// footprint (queue + coroutine-frame arena) amortized over every
+  /// dispatched event — flat stats mean this falls with run length instead
+  /// of plateauing at a per-event accumulation cost.
+  std::uint64_t peak_pending_events = 0;
+  std::uint64_t event_queue_bytes = 0;
+  std::uint64_t frame_arena_bytes = 0;
+  double bytes_per_event = 0;
 };
 
 /// Runs workloads on a freshly-built machine each time (fully

@@ -1,0 +1,46 @@
+// Fixture for the per-node-state rule: NodeId-keyed std maps declared
+// inside a // ppfs::hot region. Per-node simulation state on a hot path
+// belongs in a sim::ShardArena indexed by node id.
+//
+// Note: the std:: container mentions inside the hot region also fire
+// hot-region-alloc (heap containers are banned there outright); the
+// per-node-state findings are the NodeId-specific subset that points at
+// the ShardArena remedy.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using NodeId = int;
+
+namespace hw {
+using NodeId = std::uint32_t;
+}
+
+struct DiskQueue {
+  int depth = 0;
+};
+
+struct Router {
+  // ppfs::hot
+  // VIOLATION(per-node-state): hash lookup per event for a dense id space.
+  std::unordered_map<NodeId, DiskQueue> queues;
+  // VIOLATION(per-node-state): ordered map is no better — still pointer
+  // chasing keyed by a dense node id.
+  std::map<hw::NodeId, int> credits;
+  // VIOLATION(per-node-state): nested mapped type must not hide the key.
+  std::unordered_map<NodeId, std::vector<double>> samples;
+  // OK for per-node-state (still hot-region-alloc): key is not a NodeId.
+  std::map<std::string, int> by_name;
+  // OK for per-node-state (still hot-region-alloc): NodeId is the mapped
+  // type, not the key.
+  std::unordered_map<std::string, NodeId> owner_of;
+  // ppfs::endhot
+
+  // OK: outside any hot region, a NodeId-keyed map is merely a style
+  // choice, not a hot-path scaling hazard.
+  std::unordered_map<NodeId, DiskQueue> cold_queues;
+};
+
+int touch(Router& r) { return r.queues.size() + r.cold_queues.size() + r.credits.size() + r.samples.size() + r.by_name.size() + r.owner_of.size(); }

@@ -192,6 +192,31 @@ void f() {
              "void f() { std::vector<int> v; (void)v; }\n}\n",
              [])
 
+    # --- per-node-state ---
+    run_case("per-node-state fires on NodeId-keyed map in hot region", "exp/n.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nstruct S { "
+             "std::unordered_map<NodeId, int> q; };\n// ppfs::endhot\n}\n",
+             ["per-node-state", "hot-region-alloc"])
+    run_case("per-node-state sees qualified key through nested args", "exp/n.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nstruct S { "
+             "std::map<hw::NodeId, std::pair<int, int>> q; };\n"
+             "// ppfs::endhot\n}\n",
+             ["per-node-state", "hot-region-alloc"])
+    run_case("per-node-state no-fire when key is not NodeId", "exp/n.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nstruct S { "
+             "std::unordered_map<BlockId, NodeId> q; };\n// ppfs::endhot\n}\n",
+             ["hot-region-alloc"])
+    run_case("per-node-state no-fire outside hot region", "exp/n.cpp",
+             "namespace ppfs::exp {\nstruct S { "
+             "std::unordered_map<NodeId, int> q; };\n}\n",
+             [])
+    run_case("per-node-state suppressible inline", "exp/n.cpp",
+             "namespace ppfs::exp {\n// ppfs::hot\nstruct S { "
+             "std::unordered_map<NodeId, int> q;  "
+             "// ppfs-lint: allow(per-node-state) sparse overlay, selftest\n"
+             "};\n// ppfs::endhot\n}\n",
+             ["hot-region-alloc"], ["per-node-state"])
+
     # --- file-scope suppression ---
     run_case("allow-file suppresses whole file", "a.cpp",
              "// ppfs-lint: allow-file(co-await-temporary) selftest justification\n"

@@ -83,6 +83,15 @@ Rule catalog (ten classes):
                        This generalizes the three per-subsystem allocation
                        rules to any code the author declares hot.
 
+  per-node-state       [NEW] A std::map / std::unordered_map keyed by
+                       NodeId inside a // ppfs::hot region. Per-node
+                       simulation state on a hot path belongs in a
+                       sim::ShardArena indexed by node id: node ids are
+                       dense [0, node_count), so a hash or tree lookup
+                       per event pays pointer-chasing and allocator
+                       traffic for nothing — the arena is contiguous,
+                       cache-local, and allocation-free after reserve().
+
 Suppressions: `// ppfs-lint: allow(<rule>[, <rule>...])` on the finding's
 line or the line above suppresses it (counted and reported separately).
 Every suppression in the production tree must carry an inline
@@ -124,6 +133,7 @@ ALL_RULES = [
     "sweep-shared-state",
     "ref-across-await",
     "hot-region-alloc",
+    "per-node-state",
 ]
 
 # Task-returning names too generic to lint without type information.
@@ -1185,6 +1195,59 @@ def check_hot_region_alloc(ctx: FileCtx, rep: Reporter) -> None:
                  f"path outside the region")
 
 
+def check_per_node_state(ctx: FileCtx, rep: Reporter) -> None:
+    # Hot ranges mirror check_hot_region_alloc, which owns the stray/
+    # unterminated-marker diagnostics; this check only consumes the ranges.
+    ranges = []
+    stack = []
+    for (line, kind) in ctx.hot_marks:
+        if kind == "hot":
+            stack.append(line)
+        elif stack:
+            ranges.append((stack.pop(), line))
+    if not ranges:
+        return
+    toks = ctx.toks
+    n = len(toks)
+
+    def in_hot(line):
+        return any(a <= line <= b for (a, b) in ranges)
+
+    for k, t in enumerate(toks):
+        if t.kind != "id" or not in_hot(t.line):
+            continue
+        if t.text not in ("map", "unordered_map"):
+            continue
+        if not (k >= 2 and toks[k - 1].text == "::" and toks[k - 2].text == "std"):
+            continue
+        if k + 1 >= n or toks[k + 1].text != "<":
+            continue
+        # Scan the first template argument (up to the ',' at depth 1) for a
+        # NodeId key, tracking <...> depth so nested templates don't confuse
+        # the argument boundary.
+        depth = 0
+        key_ids = []
+        for j in range(k + 1, n):
+            tj = toks[j]
+            if tj.text == "<":
+                depth += 1
+            elif tj.text == ">" or tj.text == ">>":
+                depth -= 2 if tj.text == ">>" else 1
+                if depth <= 0:
+                    break
+            elif tj.text == "," and depth == 1:
+                break
+            elif tj.kind == "id" and depth >= 1:
+                key_ids.append(tj.text)
+        if "NodeId" not in key_ids:
+            continue
+        rep.emit(ctx, t.line, "per-node-state",
+                 f"std::{t.text} keyed by NodeId inside a // ppfs::hot region; "
+                 f"node ids are dense, so per-node simulation state belongs in "
+                 f"a sim::ShardArena indexed by node id — contiguous, "
+                 f"cache-local, and allocation-free after reserve()")
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -1248,6 +1311,7 @@ def analyze(files: list):
         check_sweep_shared_state(ctx, rep)
         check_ref_across_await(ctx, rep)
         check_hot_region_alloc(ctx, rep)
+        check_per_node_state(ctx, rep)
     rep.findings.sort(key=lambda e: (e["file"], e["line"], e["rule"]))
     return rep
 

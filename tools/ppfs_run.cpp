@@ -27,9 +27,13 @@ void print_result(const char* label, const ExperimentResult& r) {
               r.observed_read_bw_mbs, fmt_time(r.max_node_read_time).c_str());
   std::printf("  wall-clock  B/W   %8.2f MB/s   mean read call %s\n", r.wall_bw_mbs,
               fmt_time(r.mean_read_call_time).c_str());
-  auto lat = r.read_latencies;  // copy: percentile() sorts
+  const auto& lat = r.read_latencies;  // streaming sketch: percentile() is const
   std::printf("  read latency      p50 %s  p95 %s  max %s\n", fmt_time(lat.median()).c_str(),
               fmt_time(lat.percentile(95)).c_str(), fmt_time(lat.max()).c_str());
+  std::printf("  footprint         peak-pending=%llu queue=%s arena=%s (%.2f B/event)\n",
+              (unsigned long long)r.peak_pending_events,
+              fmt_bytes(r.event_queue_bytes).c_str(),
+              fmt_bytes(r.frame_arena_bytes).c_str(), r.bytes_per_event);
   if (r.spec.verify) {
     std::printf("  verification: %s\n",
                 r.verify_failures == 0 ? "all bytes correct" : "FAILURES DETECTED");
