@@ -180,6 +180,13 @@ sim::Task<void> CacheTier::recover() {
   const sim::SimTime t0 = sim_.now();
   const std::uint64_t epoch = crash_count_;
   ++stats_.recoveries;
+  // The warm-restart window opens the moment replay begins, not when it
+  // ends: recover() awaits the journal transfers below, and lookups served
+  // concurrently during that replay window are part of the warm restart.
+  // Zeroing these counters at the end instead used to silently drop every
+  // hit the tier served while still replaying.
+  stats_.warm_lookups = 0;
+  stats_.warm_hits = 0;
 
   std::vector<std::uint32_t> inos;
   inos.reserve(durable_.size());
@@ -227,9 +234,6 @@ sim::Task<void> CacheTier::recover() {
   stats_.recovered_blocks += installed;
   stats_.last_recovery_time = sim_.now() - t0;
   stats_.total_recovery_time += stats_.last_recovery_time;
-  // The warm-restart window starts now.
-  stats_.warm_lookups = 0;
-  stats_.warm_hits = 0;
 }
 
 // --- fsck -------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "fault/retry.hpp"
@@ -34,6 +35,13 @@ PfsClient::PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs)
   if (rank < 0 || nprocs <= 0 || rank >= nprocs) {
     throw std::invalid_argument("PfsClient: bad rank/nprocs");
   }
+  if (fs_.params().write_tokens) {
+    token_client_id_ = fs_.tokens().register_handler(this);
+  }
+}
+
+PfsClient::~PfsClient() {
+  if (token_client_id_ >= 0) fs_.tokens().unregister_handler(token_client_id_);
 }
 
 PfsClient::OpenFile& PfsClient::fstate(int fd) {
@@ -534,10 +542,24 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
     }
   }
 
-  // --- data transfer: prefetch buffers first, then the normal path ---
+  // --- coherence: a token-mode read first secures a read token, which
+  // forces any conflicting writer to flush-before-ack ---
+  if (fs_.params().write_tokens) {
+    co_await acquire_token(f.file, off, off + len, TokenMode::kRead);
+  }
+
+  // --- data transfer: own dirty data first, then prefetch buffers, then
+  // the normal path ---
   ByteCount got = 0;
   bool served = false;
-  if (prefetcher_) {
+  if (fs_.params().write_tokens && wb_covers(f.file, off, len)) {
+    // Read-your-writes: the whole range is buffered dirty locally.
+    co_await cpu().compute(cpu().params().syscall_overhead);
+    got = wb_overlay(f.file, off, out.first(len), 0);
+    ++token_stats_.wb_read_hits;
+    served = true;
+  }
+  if (!served && prefetcher_) {
     auto hit = co_await prefetcher_->try_serve(fd, off, len, out);
     if (hit) {
       got = *hit;
@@ -549,6 +571,11 @@ sim::Task<ByteCount> PfsClient::read(int fd, std::span<std::byte> out) {
     // asking for the same blocks trigger one disk access.
     const bool fast = f.fastpath && f.mode != IoMode::kGlobal;
     got = co_await read_at(fd, off, len, out, fast);
+    if (fs_.params().write_tokens) {
+      // Partially-dirty ranges: newer buffered bytes overlay the server
+      // data, and trailing dirty bytes past EOF extend the count.
+      got = wb_overlay(f.file, off, out.first(len), got);
+    }
   }
 
   // --- pointer advance ---
@@ -642,6 +669,11 @@ sim::Task<void> PfsClient::write_at(int fd, FileOffset off, std::span<const std:
   OpenFile& f = fstate(fd);
   PfsFileMeta& meta = fs_.file(f.file);
   co_await cpu().compute(cpu().params().syscall_overhead);
+  co_await store_range(meta, off, in);
+}
+
+sim::Task<void> PfsClient::store_range(PfsFileMeta& meta, FileOffset off,
+                                       std::span<const std::byte> in) {
   if (in.empty()) co_return;
 
   if (fs_.params().coalesce_rpcs) {
@@ -725,7 +757,23 @@ sim::Task<ByteCount> PfsClient::write(int fd, std::span<const std::byte> in) {
     }
   }
 
-  co_await write_at(fd, off, in);
+  if (fs_.params().write_tokens) {
+    // TokenWrite path: secure an exclusive byte-range token (revoking any
+    // conflicting holder, who flushes first), then buffer the data dirty in
+    // the local write-back cache — no data RPC until revocation, fsync, or
+    // the dirty budget forces an eviction. The syscall charge comes BEFORE
+    // the acquire: once acquire_token returns the insert must follow with
+    // no suspension point in between, or a rival's revocation could land
+    // in the gap and this client would buffer (and later flush) bytes for
+    // a range it no longer owns — a torn record on the servers.
+    co_await cpu().compute(cpu().params().syscall_overhead);
+    co_await acquire_token(f.file, off, off + len, TokenMode::kWrite);
+    wb_insert(f.file, off, in);
+    ++token_stats_.wb_writes;
+    co_await wb_enforce_capacity();
+  } else {
+    co_await write_at(fd, off, in);
+  }
 
   switch (f.mode) {
     case IoMode::kRecord:
@@ -808,6 +856,293 @@ sim::Task<AsyncHandle> PfsClient::iwrite(int fd, std::span<const std::byte> in) 
 sim::Task<ByteCount> PfsClient::iowait(AsyncHandle h) {
   if (!h) throw std::invalid_argument("iowait: null handle");
   co_return co_await arts_.wait(std::move(h));
+}
+
+// --- TokenWrite: byte-range token cache + client write-back cache ---------
+//
+// Everything below is dormant unless PfsParams::write_tokens is set; the
+// default read/write paths never reach it, so read-only experiment digests
+// are unchanged.
+
+bool PfsClient::token_covered(FileId file, FileOffset begin, FileOffset end,
+                              TokenMode mode) const {
+  auto it = held_tokens_.find(file);
+  if (it == held_tokens_.end()) return false;
+  // Piecewise coverage sweep: a write must be covered by held write ranges;
+  // a read is satisfied by either mode (a write token implies read rights).
+  FileOffset cursor = begin;
+  bool progressed = true;
+  while (cursor < end && progressed) {
+    progressed = false;
+    for (const HeldRange& h : it->second) {
+      if (h.begin > cursor || h.end <= cursor) continue;
+      if (mode == TokenMode::kWrite && h.mode != TokenMode::kWrite) continue;
+      cursor = h.end;
+      progressed = true;
+      break;
+    }
+  }
+  return cursor >= end;
+}
+
+void PfsClient::hold_token(FileId file, FileOffset begin, FileOffset end, TokenMode mode) {
+  // Mirror the manager's absorb step: the fresh grant replaces whatever this
+  // client held over [begin, end) — including a write range a read acquire
+  // just downgraded — with remainders split off.
+  auto& held = held_tokens_[file];
+  std::vector<HeldRange> pieces;
+  for (std::size_t i = 0; i < held.size();) {
+    const HeldRange h = held[i];
+    if (h.end <= begin || h.begin >= end) {
+      ++i;
+      continue;
+    }
+    held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    if (h.begin < begin) pieces.push_back({h.begin, begin, h.mode});
+    if (h.end > end) pieces.push_back({end, h.end, h.mode});
+  }
+  for (const HeldRange& p : pieces) held.push_back(p);
+  held.push_back({begin, end, mode});
+}
+
+void PfsClient::drop_token_range(FileId file, TokenRange range) {
+  auto it = held_tokens_.find(file);
+  if (it == held_tokens_.end()) return;
+  auto& held = it->second;
+  std::vector<HeldRange> pieces;
+  for (std::size_t i = 0; i < held.size();) {
+    const HeldRange h = held[i];
+    if (h.end <= range.begin || h.begin >= range.end) {
+      ++i;
+      continue;
+    }
+    held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    ++token_stats_.invalidations;
+    if (h.begin < range.begin) pieces.push_back({h.begin, range.begin, h.mode});
+    if (h.end > range.end) pieces.push_back({range.end, h.end, h.mode});
+  }
+  for (const HeldRange& p : pieces) held.push_back(p);
+}
+
+sim::Task<void> PfsClient::acquire_token(FileId file, FileOffset begin, FileOffset end,
+                                         TokenMode mode) {
+  if (begin >= end) co_return;
+  if (token_covered(file, begin, end, mode)) {
+    // The held-token cache makes repeated operations in an owned range
+    // RPC-free — this is where non-conflicting writers scale.
+    ++token_stats_.local_grants;
+    co_return;
+  }
+  ++rpc_stats_.token_rpcs;
+  const auto ctrl = fs_.params().control_message_bytes;
+  trace::SpanGuard span(machine_.simulation(), trace::TraceTrack::kRpc,
+                        trace::code::kRpcToken, rank_, /*async=*/true, end - begin,
+                        static_cast<std::uint64_t>(file),
+                        mode == TokenMode::kWrite ? trace::kFlagWrite : std::uint8_t{0});
+  for (;;) {
+    co_await machine_.mesh().send(mesh_node_, fs_.metadata_node(), ctrl);
+    co_await fs_.tokens().acquire(token_client_id_, file, begin, end, mode);
+    co_await machine_.mesh().send(fs_.metadata_node(), mesh_node_, ctrl);
+    // A rival may have revoked this grant while our ack was still in
+    // flight (its revoke callback found nothing to flush and nothing in
+    // held_tokens_ to drop). Installing the range anyway would leave this
+    // client convinced it owns a token the manager has already reassigned
+    // — so re-check with the manager and re-acquire until the grant
+    // survives the ack round-trip.
+    if (fs_.tokens().holds(token_client_id_, file, begin, end, mode)) break;
+  }
+  hold_token(file, begin, end, mode);
+  span.end(end - begin);
+}
+
+sim::Task<void> PfsClient::on_token_revoke(FileId file, TokenRange range, TokenMode mode) {
+  ++token_stats_.revocations;
+  if (mode == TokenMode::kWrite) {
+    // Flush-before-ack: dirty data under a revoked write token must reach
+    // the I/O nodes before the competing client's grant is installed.
+    co_await flush_range(file, range.begin, range.end, token_stats_.revocation_flushes);
+  }
+  drop_token_range(file, range);
+  if (auto* a = machine_.simulation().auditor()) {
+    a->check_token_flush(machine_.simulation().now(),
+                         wb_dirty_bytes_in(file, range.begin, range.end));
+  }
+}
+
+void PfsClient::wb_insert(FileId file, FileOffset off, std::span<const std::byte> in) {
+  if (in.empty()) return;
+  auto& dirty = wb_[file].dirty;
+  const FileOffset end = off + in.size();
+  // Carve the new write's window out of any extent it overlaps, keeping
+  // non-overlapped head/tail remainders, so the map stays non-overlapping.
+  auto it = dirty.lower_bound(off);
+  if (it != dirty.begin()) {
+    const auto prev = std::prev(it);
+    const FileOffset pb = prev->first;
+    const FileOffset pe = pb + prev->second.size();
+    if (pe > off) {
+      std::vector<std::byte> tail;
+      if (pe > end) {
+        tail.assign(prev->second.begin() + static_cast<std::ptrdiff_t>(end - pb),
+                    prev->second.end());
+      }
+      token_stats_.dirty_bytes -= std::min(pe, end) - off;
+      prev->second.resize(static_cast<std::size_t>(off - pb));
+      if (!tail.empty()) dirty.emplace(end, std::move(tail));
+    }
+  }
+  it = dirty.lower_bound(off);
+  while (it != dirty.end() && it->first < end) {
+    const FileOffset b = it->first;
+    const FileOffset e = b + it->second.size();
+    if (e <= end) {
+      token_stats_.dirty_bytes -= e - b;
+      it = dirty.erase(it);
+    } else {
+      std::vector<std::byte> tail(it->second.begin() + static_cast<std::ptrdiff_t>(end - b),
+                                  it->second.end());
+      token_stats_.dirty_bytes -= end - b;
+      dirty.erase(it);
+      dirty.emplace(end, std::move(tail));
+      break;
+    }
+  }
+  dirty.emplace(off, std::vector<std::byte>(in.begin(), in.end()));
+  token_stats_.dirty_bytes += in.size();
+  token_stats_.peak_dirty_bytes =
+      std::max(token_stats_.peak_dirty_bytes, token_stats_.dirty_bytes);
+}
+
+ByteCount PfsClient::wb_dirty_bytes_in(FileId file, FileOffset begin, FileOffset end) const {
+  auto f = wb_.find(file);
+  if (f == wb_.end()) return 0;
+  ByteCount total = 0;
+  for (const auto& [b, data] : f->second.dirty) {
+    const FileOffset e = b + data.size();
+    if (e <= begin) continue;
+    if (b >= end) break;
+    total += std::min(e, end) - std::max(b, begin);
+  }
+  return total;
+}
+
+bool PfsClient::wb_covers(FileId file, FileOffset off, ByteCount len) const {
+  if (len == 0) return false;
+  auto f = wb_.find(file);
+  if (f == wb_.end()) return false;
+  const auto& dirty = f->second.dirty;
+  FileOffset cursor = off;
+  const FileOffset end = off + len;
+  auto it = dirty.upper_bound(off);
+  if (it != dirty.begin()) --it;
+  while (cursor < end) {
+    if (it == dirty.end()) return false;
+    const FileOffset b = it->first;
+    const FileOffset e = b + it->second.size();
+    if (e <= cursor) {
+      ++it;
+      continue;
+    }
+    if (b > cursor) return false;
+    cursor = e;
+    ++it;
+  }
+  return true;
+}
+
+ByteCount PfsClient::wb_overlay(FileId file, FileOffset off, std::span<std::byte> out,
+                                ByteCount base_got) const {
+  auto f = wb_.find(file);
+  if (f == wb_.end()) return base_got;
+  const FileOffset end = off + out.size();
+  ByteCount reach = base_got;
+  // Extents are offset-sorted and non-overlapping: one pass both copies the
+  // overlapping dirty bytes over the server data (the cache is newer) and
+  // extends the contiguous-coverage watermark from `off`.
+  for (const auto& [b, data] : f->second.dirty) {
+    const FileOffset e = b + data.size();
+    if (e <= off) continue;
+    if (b >= end) break;
+    const FileOffset cb = std::max(b, off);
+    const FileOffset ce = std::min(e, end);
+    std::memcpy(out.data() + (cb - off), data.data() + (cb - b), ce - cb);
+    if (b <= off + reach && e > off + reach) {
+      reach = std::min<ByteCount>(e - off, out.size());
+    }
+  }
+  return reach;
+}
+
+sim::Task<void> PfsClient::flush_range(FileId file, FileOffset begin, FileOffset end,
+                                       std::uint64_t& cause_counter) {
+  auto f = wb_.find(file);
+  if (f == wb_.end()) co_return;
+  PfsFileMeta& meta = fs_.file(file);
+  for (;;) {
+    // Re-find the next dirty extent intersecting [begin, end) each pass —
+    // the map can shift while the store RPCs below are in flight.
+    auto& dirty = f->second.dirty;
+    auto it = dirty.upper_bound(begin);
+    if (it != dirty.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->first + prev->second.size() > begin) it = prev;
+    }
+    if (it == dirty.end() || it->first >= end) co_return;
+    const FileOffset b = it->first;
+    const FileOffset e = b + it->second.size();
+    const FileOffset cb = std::max(b, begin);
+    const FileOffset ce = std::min(e, end);
+    // Detach the flushed slice BEFORE awaiting: a concurrent writer must
+    // never see the same bytes both dirty and in flight.
+    std::vector<std::byte> data(it->second.begin() + static_cast<std::ptrdiff_t>(cb - b),
+                                it->second.begin() + static_cast<std::ptrdiff_t>(ce - b));
+    std::vector<std::byte> tail;
+    if (e > ce) {
+      tail.assign(it->second.begin() + static_cast<std::ptrdiff_t>(ce - b),
+                  it->second.end());
+    }
+    if (cb > b) {
+      it->second.resize(static_cast<std::size_t>(cb - b));
+    } else {
+      dirty.erase(it);
+    }
+    if (!tail.empty()) dirty.emplace(ce, std::move(tail));
+    token_stats_.dirty_bytes -= ce - cb;
+    ++token_stats_.flush_ops;
+    ++cause_counter;
+    token_stats_.flushed_bytes += ce - cb;
+    co_await store_range(meta, cb, data);
+  }
+}
+
+sim::Task<void> PfsClient::wb_enforce_capacity() {
+  const ByteCount budget = fs_.params().write_back_bytes;
+  while (token_stats_.dirty_bytes > budget) {
+    // Evict the lowest-offset extent of the lowest-id file — deterministic,
+    // and sequential writers flush in file order.
+    FileId victim = 0;
+    bool found = false;
+    for (const auto& [file, cache] : wb_) {
+      if (!cache.dirty.empty()) {
+        victim = file;
+        found = true;
+        break;
+      }
+    }
+    if (!found) co_return;  // accounting drift guard; cannot happen
+    const auto& first = *wb_[victim].dirty.begin();
+    const FileOffset b = first.first;
+    const FileOffset e = b + first.second.size();
+    co_await flush_range(victim, b, e, token_stats_.capacity_evictions);
+  }
+}
+
+sim::Task<void> PfsClient::fsync(int fd) {
+  OpenFile& f = fstate(fd);
+  co_await cpu().compute(cpu().params().syscall_overhead);
+  if (!fs_.params().write_tokens) co_return;
+  co_await flush_range(f.file, 0, std::numeric_limits<FileOffset>::max(),
+                       token_stats_.fsync_flushes);
 }
 
 AsyncHandle PfsClient::post_prefetch(int fd, FileOffset off, ByteCount len,

@@ -33,6 +33,7 @@
 #include "pfs/async.hpp"
 #include "pfs/filesystem.hpp"
 #include "pfs/io_mode.hpp"
+#include "pfs/token.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
@@ -82,6 +83,7 @@ struct RpcStats {
   std::uint64_t data_rpcs = 0;      // fetch/store extent RPCs (one per request)
   std::uint64_t metadata_rpcs = 0;  // metadata-node round trips (open, seek, map)
   std::uint64_t pointer_rpcs = 0;   // pointer/lock/collective claims inside read/write
+  std::uint64_t token_rpcs = 0;     // byte-range token acquisitions (TokenWrite)
   std::uint64_t coalesced_rpcs = 0;     // data RPCs that were scatter-gather
   std::uint64_t coalesced_extents = 0;  // extents those RPCs carried
   std::uint64_t stripe_map_refreshes = 0;  // cached stripe-map (re)loads
@@ -99,11 +101,30 @@ struct RpcStats {
   }
 };
 
-class PfsClient {
+/// TokenWrite client-side counters: the token cache and the write-back
+/// cache together (pfs_execstat-style). All zero unless
+/// PfsParams::write_tokens is enabled.
+struct TokenCacheStats {
+  std::uint64_t local_grants = 0;        // acquisitions satisfied by a held token
+  std::uint64_t revocations = 0;         // revoke callbacks served
+  std::uint64_t invalidations = 0;       // held ranges dropped/trimmed by revocation
+  std::uint64_t wb_writes = 0;           // writes buffered dirty (no RPC issued)
+  std::uint64_t wb_read_hits = 0;        // reads served wholly from own dirty data
+  std::uint64_t flush_ops = 0;           // dirty extents flushed to the servers
+  ByteCount flushed_bytes = 0;
+  std::uint64_t revocation_flushes = 0;  // flush ops forced by a revocation
+  std::uint64_t fsync_flushes = 0;       // flush ops from fsync
+  std::uint64_t capacity_evictions = 0;  // flush ops forced by the dirty budget
+  ByteCount dirty_bytes = 0;             // currently buffered
+  ByteCount peak_dirty_bytes = 0;
+};
+
+class PfsClient : public TokenRevokeHandler {
  public:
   /// `compute_index`: which compute node this process runs on;
   /// `rank`/`nprocs`: the process's position in the parallel application.
   PfsClient(PfsFileSystem& fs, int compute_index, int rank, int nprocs);
+  ~PfsClient() override;
   PfsClient(const PfsClient&) = delete;
   PfsClient& operator=(const PfsClient&) = delete;
 
@@ -130,6 +151,10 @@ class PfsClient {
   sim::Task<ByteCount> read(int fd, std::span<std::byte> out);
   sim::Task<ByteCount> write(int fd, std::span<const std::byte> in);
   sim::Task<void> seek(int fd, FileOffset off);
+  /// TokenWrite: flush every dirty write-back extent of this fd's file to
+  /// the I/O nodes. A no-op when write tokens are off (writes are then
+  /// write-through and already durable).
+  sim::Task<void> fsync(int fd);
 
   // --- asynchronous I/O (the ART path) ---
   /// Post an asynchronous read; the pointer advances immediately, the data
@@ -164,6 +189,13 @@ class PfsClient {
   int nprocs() const noexcept { return nprocs_; }
   const ClientStats& stats() const noexcept { return stats_; }
   const RpcStats& rpc_stats() const noexcept { return rpc_stats_; }
+  const TokenCacheStats& token_stats() const noexcept { return token_stats_; }
+
+  // --- TokenRevokeHandler (called by the metadata node's token manager) ---
+  hw::NodeId token_node() const override { return mesh_node_; }
+  /// Flush-before-ack: flushes every dirty byte inside `range`, drops the
+  /// cached token, and only then returns (the return is the ack).
+  sim::Task<void> on_token_revoke(FileId file, TokenRange range, TokenMode mode) override;
   ArtQueue& arts() noexcept { return arts_; }
   hw::Machine& machine() noexcept { return machine_; }
   PfsFileSystem& filesystem() noexcept { return fs_; }
@@ -216,6 +248,53 @@ class PfsClient {
 
   sim::Task<void> write_at(int fd, FileOffset off, std::span<const std::byte> in);
 
+  // --- TokenWrite internals (all dormant unless params().write_tokens) ---
+
+  /// A token range this client believes it holds (its token cache). Held
+  /// ranges make repeated operations in an owned range RPC-free; the
+  /// manager shrinks them back through on_token_revoke.
+  struct HeldRange {
+    FileOffset begin = 0;
+    FileOffset end = 0;
+    TokenMode mode = TokenMode::kRead;
+  };
+  /// Per-file write-back cache: non-overlapping dirty extents keyed by
+  /// start offset. Data stays here until revocation, fsync, or the
+  /// per-client dirty budget forces a flush.
+  struct WriteBack {
+    std::map<FileOffset, std::vector<std::byte>> dirty;
+  };
+
+  /// Acquire (or locally confirm) a token for [begin, end). One control
+  /// round trip + manager call on a miss; pure bookkeeping on a hit.
+  sim::Task<void> acquire_token(FileId file, FileOffset begin, FileOffset end,
+                                TokenMode mode);
+  bool token_covered(FileId file, FileOffset begin, FileOffset end, TokenMode mode) const;
+  void hold_token(FileId file, FileOffset begin, FileOffset end, TokenMode mode);
+  /// Drop held ranges intersecting `range` (invalidate), splitting
+  /// remainders.
+  void drop_token_range(FileId file, TokenRange range);
+
+  /// The raw striped store path (mapping + extent/coalesced RPCs + size
+  /// update) — write_at's body, reused by the write-back flushes.
+  sim::Task<void> store_range(PfsFileMeta& meta, FileOffset off,
+                              std::span<const std::byte> in);
+  /// Flush dirty extents intersecting [begin, end), lowest offset first;
+  /// each flush op also bumps `cause_counter`.
+  sim::Task<void> flush_range(FileId file, FileOffset begin, FileOffset end,
+                              std::uint64_t& cause_counter);
+  /// Flush lowest-offset extents (any file) until dirty_bytes fits the
+  /// write-back budget again.
+  sim::Task<void> wb_enforce_capacity();
+  void wb_insert(FileId file, FileOffset off, std::span<const std::byte> in);
+  ByteCount wb_dirty_bytes_in(FileId file, FileOffset begin, FileOffset end) const;
+  bool wb_covers(FileId file, FileOffset off, ByteCount len) const;
+  /// Copy dirty bytes overlapping [off, off+out.size()) into `out`;
+  /// returns the contiguous coverage from `off` given `base_got` bytes
+  /// already valid from the normal read path.
+  ByteCount wb_overlay(FileId file, FileOffset off, std::span<std::byte> out,
+                       ByteCount base_got) const;
+
   PfsFileSystem& fs_;
   hw::Machine& machine_;
   int compute_index_;
@@ -229,6 +308,10 @@ class PfsClient {
   int next_fd_ = 3;
   ClientStats stats_;
   RpcStats rpc_stats_;
+  TokenCacheStats token_stats_;
+  std::map<FileId, std::vector<HeldRange>> held_tokens_;
+  std::map<FileId, WriteBack> wb_;
+  int token_client_id_ = -1;  // registered with the manager when tokens are on
   sim::Rng rpc_rng_;  // deterministic per-rank backoff-jitter stream
 };
 

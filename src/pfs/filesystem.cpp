@@ -9,7 +9,9 @@ PfsFileSystem::PfsFileSystem(hw::Machine& machine, PfsParams params)
       params_(std::move(params)),
       metadata_node_(machine.io_node(0)),
       pointers_(machine, metadata_node_, params_.pointer_service_time),
-      collectives_(machine, metadata_node_, pointers_, params_.pointer_service_time) {
+      collectives_(machine, metadata_node_, pointers_, params_.pointer_service_time),
+      tokens_(machine, metadata_node_, params_.pointer_service_time,
+              params_.control_message_bytes) {
   servers_.reserve(static_cast<std::size_t>(machine.io_node_count()));
   for (int i = 0; i < machine.io_node_count(); ++i) {
     servers_.emplace_back(machine, i, params_).set_topology_epoch_counter(&topology_epoch_);

@@ -16,6 +16,7 @@
 #include "pfs/pointer_server.hpp"
 #include "pfs/server.hpp"
 #include "pfs/stripe.hpp"
+#include "pfs/token.hpp"
 #include "sim/shard.hpp"
 #include "ufs/inode.hpp"
 
@@ -63,6 +64,10 @@ class PfsFileSystem {
   }
   PointerService& pointers() noexcept { return pointers_; }
   CollectiveService& collectives() noexcept { return collectives_; }
+  /// TokenWrite byte-range token manager (only exercised when
+  /// params().write_tokens is set; idle otherwise).
+  TokenManager& tokens() noexcept { return tokens_; }
+  const TokenManager& tokens() const noexcept { return tokens_; }
 
   hw::Machine& machine() noexcept { return machine_; }
   hw::NodeId metadata_node() const noexcept { return metadata_node_; }
@@ -84,6 +89,7 @@ class PfsFileSystem {
   sim::ShardArena<PfsServer> servers_;
   PointerService pointers_;
   CollectiveService collectives_;
+  TokenManager tokens_;
   std::map<std::string, std::unique_ptr<PfsFileMeta>> files_;
   std::map<FileId, PfsFileMeta*> by_id_;
   FileId next_id_ = 1;

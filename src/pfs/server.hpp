@@ -54,6 +54,14 @@ struct PfsParams {
   /// Queue concurrently-arriving extent requests per I/O node and serve
   /// them as physically-sorted batches (one elevator sweep, not N seeks).
   bool server_batch = false;
+  /// TokenWrite: route synchronous reads/writes through byte-range tokens
+  /// issued by the metadata node's token manager, with per-client
+  /// write-back caches that buffer dirty data until revocation or fsync.
+  /// Default off — the read-only paper scenarios stay bit-identical.
+  bool write_tokens = false;
+  /// Per-client dirty-byte budget for the write-back cache; exceeding it
+  /// flushes the lowest-offset dirty extents first (capacity eviction).
+  ByteCount write_back_bytes = 1024 * 1024;
 };
 
 class PfsServer {

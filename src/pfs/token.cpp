@@ -1,0 +1,172 @@
+#include "pfs/token.hpp"
+
+#include <algorithm>
+
+#include "sim/check/audit.hpp"
+#include "sim/simulation.hpp"
+
+namespace ppfs::pfs {
+
+const char* to_string(TokenMode m) noexcept {
+  return m == TokenMode::kWrite ? "write" : "read";
+}
+
+TokenManager::State& TokenManager::state(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    State s;
+    s.lock = std::make_unique<sim::Resource>(machine_.simulation(), 1);
+    it = files_.emplace(file, std::move(s)).first;
+  }
+  return it->second;
+}
+
+int TokenManager::register_handler(TokenRevokeHandler* handler) {
+  const int id = next_client_++;
+  handlers_[id] = handler;
+  return id;
+}
+
+void TokenManager::unregister_handler(int client_id) {
+  // Teardown path: drop the client's grants without flushing (the run has
+  // drained). The auditor's ledger is released in step so the balance holds.
+  for (auto& [file, s] : files_) {
+    for (std::size_t i = 0; i < s.grants.size();) {
+      if (s.grants[i].client != client_id) {
+        ++i;
+        continue;
+      }
+      remove_from_grant(file, s, i, s.grants[i].begin, s.grants[i].end);
+    }
+  }
+  handlers_.erase(client_id);
+}
+
+std::size_t TokenManager::remove_from_grant(FileId file, State& s, std::size_t i,
+                                            FileOffset begin, FileOffset end) {
+  const Grant g = s.grants[i];
+  if (g.mode == TokenMode::kWrite) {
+    write_granted_bytes_ -= end - begin;
+    if (auto* a = machine_.simulation().auditor()) {
+      a->on_token_write_release(machine_.simulation().now(), file,
+                                static_cast<std::uint64_t>(g.client), begin, end);
+    }
+  }
+  const bool left = begin > g.begin;
+  const bool right = end < g.end;
+  if (left && right) {
+    s.grants[i].end = begin;
+    s.grants.insert(s.grants.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    Grant{g.client, g.mode, end, g.end});
+    ++stats_.splits;
+    return 2;
+  }
+  if (left) {
+    s.grants[i].end = begin;
+    return 1;
+  }
+  if (right) {
+    s.grants[i].begin = end;
+    return 1;
+  }
+  s.grants.erase(s.grants.begin() + static_cast<std::ptrdiff_t>(i));
+  return 0;
+}
+
+sim::Task<void> TokenManager::acquire(int client_id, FileId file, FileOffset begin,
+                                      FileOffset end, TokenMode mode) {
+  if (begin >= end) co_return;
+  // The grant-table update runs on the metadata node's CPU, like pointer
+  // ops; conflicting acquisitions on one file then serialize FIFO.
+  co_await machine_.cpu(home_).compute(service_time_);
+  ++stats_.acquires;
+  State& s = state(file);
+  auto guard = co_await s.lock->acquire();
+
+  // Revoke conflicting overlaps held by other clients, one holder at a
+  // time, in grant-table order. Flush-before-ack: the overlap leaves the
+  // table only after the holder's on_token_revoke returns, i.e. after its
+  // dirty bytes are flushed and its cached token invalidated. Each pass
+  // removes at least one overlap, so the rescan terminates.
+  for (;;) {
+    bool revoked = false;
+    for (std::size_t i = 0; i < s.grants.size(); ++i) {
+      const Grant g = s.grants[i];
+      if (g.client == client_id) continue;
+      if (g.end <= begin || g.begin >= end) continue;
+      if (mode == TokenMode::kRead && g.mode == TokenMode::kRead) continue;
+      const TokenRange overlap{std::max(g.begin, begin), std::min(g.end, end)};
+      ++stats_.revocations;
+      auto hit = handlers_.find(g.client);
+      if (hit != handlers_.end()) {
+        TokenRevokeHandler* h = hit->second;
+        // Revoke message out; the ack message only after the flush.
+        co_await machine_.mesh().send(home_, h->token_node(), ctrl_);
+        co_await h->on_token_revoke(file, overlap, g.mode);
+        co_await machine_.mesh().send(h->token_node(), home_, ctrl_);
+      }
+      remove_from_grant(file, s, i, overlap.begin, overlap.end);
+      revoked = true;
+      break;  // the table shifted (and we awaited): rescan from the top
+    }
+    if (!revoked) break;
+  }
+
+  // Absorb the client's own overlapping grants first (a write acquire
+  // upgrades a covered read range; re-acquiring never double-covers).
+  for (std::size_t i = 0; i < s.grants.size();) {
+    const Grant& g = s.grants[i];
+    if (g.client != client_id || g.end <= begin || g.begin >= end) {
+      ++i;
+      continue;
+    }
+    i += remove_from_grant(file, s, i, std::max(g.begin, begin), std::min(g.end, end));
+  }
+
+  s.grants.push_back(Grant{client_id, mode, begin, end});
+  ++stats_.grants;
+  if (mode == TokenMode::kWrite) {
+    write_granted_bytes_ += end - begin;
+    if (auto* a = machine_.simulation().auditor()) {
+      a->on_token_write_grant(machine_.simulation().now(), file,
+                              static_cast<std::uint64_t>(client_id), begin, end);
+    }
+  }
+}
+
+std::size_t TokenManager::grant_count(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.grants.size();
+}
+
+ByteCount TokenManager::granted_bytes(FileId file, TokenMode mode) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return 0;
+  ByteCount total = 0;
+  for (const Grant& g : it->second.grants) {
+    if (g.mode == mode) total += g.end - g.begin;
+  }
+  return total;
+}
+
+bool TokenManager::holds(int client_id, FileId file, FileOffset begin, FileOffset end,
+                         TokenMode mode) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return false;
+  // Coverage may be pieced together from several grants: sweep forward.
+  FileOffset cursor = begin;
+  bool progressed = true;
+  while (cursor < end && progressed) {
+    progressed = false;
+    for (const Grant& g : it->second.grants) {
+      if (g.client != client_id || g.begin > cursor || g.end <= cursor) continue;
+      if (mode == TokenMode::kWrite && g.mode != TokenMode::kWrite) continue;
+      cursor = g.end;
+      progressed = true;
+      break;
+    }
+  }
+  return cursor >= end;
+}
+
+}  // namespace ppfs::pfs

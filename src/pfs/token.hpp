@@ -1,0 +1,131 @@
+// TokenWrite: the byte-range token manager — the metadata node's concurrency
+// control for the multi-client write path.
+//
+// The manager issues read and write tokens per (file, byte range). Write
+// tokens are exclusive per byte; read tokens are shareable among readers but
+// conflict with writes. An acquisition that overlaps another client's
+// conflicting grant revokes exactly the overlap: the manager messages the
+// holder, the holder flushes every dirty byte in the range and invalidates
+// its cached token, and only then is the revocation acked and the new grant
+// installed (flush-before-ack). Partial overlaps split the holder's grant
+// into its surviving remainders, so disjoint writers never serialize.
+//
+// The service lives on the metadata node next to PointerService: each
+// operation charges that node's CPU, and conflicting acquisitions on one
+// file serialize FIFO through a per-file lock (deterministic revocation
+// order). SimCheck's token-conservation ledger shadows the grant table —
+// every write-granted byte is covered by at most one client at any instant,
+// and a revoked token may only be acked fully flushed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace ppfs::pfs {
+
+using sim::ByteCount;
+using sim::FileOffset;
+using FileId = std::uint64_t;
+
+enum class TokenMode : std::uint8_t { kRead, kWrite };
+
+const char* to_string(TokenMode m) noexcept;
+
+/// Half-open byte range [begin, end).
+struct TokenRange {
+  FileOffset begin = 0;
+  FileOffset end = 0;
+  ByteCount length() const noexcept { return end - begin; }
+};
+
+/// Client-side callback surface: the manager revokes ranges through this.
+/// The holder must flush every dirty byte inside `range` and drop its
+/// cached token for it before returning — the return IS the ack.
+class TokenRevokeHandler {
+ public:
+  virtual ~TokenRevokeHandler() = default;
+  /// Mesh node the revoke/ack control messages travel to and from.
+  virtual hw::NodeId token_node() const = 0;
+  /// `mode` is the mode of the holder's grant being revoked.
+  virtual sim::Task<void> on_token_revoke(FileId file, TokenRange range, TokenMode mode) = 0;
+};
+
+struct TokenManagerStats {
+  std::uint64_t acquires = 0;     // acquisition RPCs served
+  std::uint64_t grants = 0;       // grants installed (one per acquire)
+  std::uint64_t revocations = 0;  // conflicting overlaps revoked from holders
+  std::uint64_t splits = 0;       // grants split in two by a partial overlap
+  std::uint64_t releases = 0;     // release-all operations served
+};
+
+class TokenManager {
+ public:
+  TokenManager(hw::Machine& machine, hw::NodeId home_node, double service_time,
+               ByteCount control_message_bytes)
+      : machine_(machine), home_(home_node), service_time_(service_time),
+        ctrl_(control_message_bytes) {}
+  TokenManager(const TokenManager&) = delete;
+  TokenManager& operator=(const TokenManager&) = delete;
+
+  /// Register a client's revocation handler; returns its client id
+  /// (assigned in registration order, so runs are deterministic).
+  int register_handler(TokenRevokeHandler* handler);
+  /// Drop the handler and every grant it still holds (no flush — only
+  /// called at teardown, after the simulation has drained).
+  void unregister_handler(int client_id);
+
+  /// Acquire a token for [begin, end). Revokes conflicting grants of other
+  /// clients (flush-before-ack) before installing the new grant. Empty
+  /// ranges are no-ops.
+  sim::Task<void> acquire(int client_id, FileId file, FileOffset begin, FileOffset end,
+                          TokenMode mode);
+
+  // --- introspection (tests, SimCheck cross-check, reports) ---
+  std::size_t grant_count(FileId file) const;
+  /// Bytes currently granted in `mode` on `file`.
+  ByteCount granted_bytes(FileId file, TokenMode mode) const;
+  /// Total write-granted bytes across every file — the manager side of the
+  /// SimCheck token-conservation balance.
+  ByteCount write_granted_bytes() const noexcept { return write_granted_bytes_; }
+  bool holds(int client_id, FileId file, FileOffset begin, FileOffset end,
+             TokenMode mode) const;
+  const TokenManagerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Grant {
+    int client = 0;
+    TokenMode mode = TokenMode::kRead;
+    FileOffset begin = 0;
+    FileOffset end = 0;
+  };
+  struct State {
+    std::vector<Grant> grants;
+    std::unique_ptr<sim::Resource> lock;
+  };
+
+  State& state(FileId file);
+  /// Remove [begin, end) from grants[i], keeping the remainders (a middle
+  /// cut splits the grant in two). Reports write releases to the auditor.
+  /// Returns the number of grant records now occupying the original slot.
+  std::size_t remove_from_grant(FileId file, State& s, std::size_t i, FileOffset begin,
+                                FileOffset end);
+
+  hw::Machine& machine_;
+  hw::NodeId home_;
+  double service_time_;
+  ByteCount ctrl_;
+  std::map<FileId, State> files_;
+  std::map<int, TokenRevokeHandler*> handlers_;
+  int next_client_ = 1;
+  ByteCount write_granted_bytes_ = 0;
+  TokenManagerStats stats_;
+};
+
+}  // namespace ppfs::pfs

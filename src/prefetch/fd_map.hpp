@@ -14,6 +14,8 @@
 // the key sequence, never on addresses or randomization.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -89,7 +91,9 @@ class FdMap {
     int key = 0;
     State state = State::kEmpty;
   };
-  static constexpr std::size_t kInitialSlots = 16;  // power of two
+  static constexpr std::size_t kInitialSlots = 16;
+  static_assert(std::has_single_bit(kInitialSlots),
+                "probe masking requires a power-of-two slot count");
 
   std::size_t probe_start(int fd) const noexcept {
     // Fibonacci hashing; fds are small dense ints, so spread them.
@@ -99,6 +103,12 @@ class FdMap {
   }
 
   void rehash(std::size_t new_slots) {
+    // Probing masks with size-1, which is only a valid modulus for powers
+    // of two: any other size silently skips slots (lookups miss live keys,
+    // inserts can spin). Round up rather than trust the caller, and keep
+    // an assert so a zero/overflowed request fails loudly in debug builds.
+    new_slots = std::bit_ceil(new_slots < kInitialSlots ? kInitialSlots : new_slots);
+    assert(std::has_single_bit(new_slots) && new_slots >= kInitialSlots);
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_slots, Slot{});
     count_ = 0;

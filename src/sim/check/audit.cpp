@@ -37,6 +37,7 @@ const char* to_string(Violation v) noexcept {
     case Violation::kFaultConservation: return "fault-conservation";
     case Violation::kCoalesceConservation: return "coalesce-conservation";
     case Violation::kCacheBitmapConservation: return "cache-bitmap-conservation";
+    case Violation::kTokenConservation: return "token-conservation";
   }
   return "unknown";
 }
@@ -257,6 +258,89 @@ void Auditor::check_cache_bitmap_conservation(SimTime now, const void* owner,
   }
 }
 
+// --- byte-range write-token conservation ------------------------------------
+
+void Auditor::on_token_write_grant(SimTime now, std::uint64_t file, std::uint64_t owner,
+                                   std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  auto& recs = token_grants_[file];
+  for (const TokenGrantRec& r : recs) {
+    if (r.begin < end && begin < r.end && r.owner != owner) {
+      report(now, Violation::kTokenConservation,
+             "write token [" + std::to_string(begin) + "," + std::to_string(end) +
+                 ") granted to client " + std::to_string(owner) + " overlaps [" +
+                 std::to_string(r.begin) + "," + std::to_string(r.end) +
+                 ") still held by client " + std::to_string(r.owner) + " on file " +
+                 std::to_string(file));
+      return;
+    }
+  }
+  recs.push_back(TokenGrantRec{owner, begin, end});
+  token_granted_bytes_ += end - begin;
+}
+
+void Auditor::on_token_write_release(SimTime now, std::uint64_t file, std::uint64_t owner,
+                                     std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  auto it = token_grants_.find(file);
+  std::uint64_t removed = 0;
+  if (it != token_grants_.end()) {
+    auto& recs = it->second;
+    std::vector<TokenGrantRec> splits;
+    for (std::size_t i = 0; i < recs.size();) {
+      TokenGrantRec& r = recs[i];
+      if (r.owner != owner || r.end <= begin || r.begin >= end) {
+        ++i;
+        continue;
+      }
+      const std::uint64_t ob = r.begin > begin ? r.begin : begin;
+      const std::uint64_t oe = r.end < end ? r.end : end;
+      removed += oe - ob;
+      // Keep the non-overlapping remainders of the grant record.
+      if (ob > r.begin && oe < r.end) {
+        splits.push_back(TokenGrantRec{owner, oe, r.end});
+        r.end = ob;
+        ++i;
+      } else if (ob > r.begin) {
+        r.end = ob;
+        ++i;
+      } else if (oe < r.end) {
+        r.begin = oe;
+        ++i;
+      } else {
+        recs.erase(recs.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    for (TokenGrantRec& s : splits) recs.push_back(s);
+  }
+  token_granted_bytes_ -= removed;
+  if (removed != end - begin) {
+    report(now, Violation::kTokenConservation,
+           "release of write token [" + std::to_string(begin) + "," + std::to_string(end) +
+               ") by client " + std::to_string(owner) + " covers " + std::to_string(removed) +
+               " granted byte(s), expected " + std::to_string(end - begin));
+  }
+}
+
+void Auditor::check_token_flush(SimTime now, std::uint64_t unflushed) {
+  if (unflushed != 0) {
+    report(now, Violation::kTokenConservation,
+           "revoked write token acked with " + std::to_string(unflushed) +
+               " dirty byte(s) unflushed");
+  }
+}
+
+void Auditor::check_token_conservation(SimTime now, std::uint64_t outstanding_write_bytes,
+                                       bool in_destructor) {
+  if (token_granted_bytes_ != outstanding_write_bytes) {
+    report(now, Violation::kTokenConservation,
+           "ledger holds " + std::to_string(token_granted_bytes_) +
+               " granted write byte(s) != manager outstanding " +
+               std::to_string(outstanding_write_bytes),
+           /*may_throw=*/!in_destructor);
+  }
+}
+
 // --- coalesced-RPC conservation ---------------------------------------------
 
 void Auditor::check_coalesce_conservation(SimTime now, ByteCount expected,
@@ -320,6 +404,12 @@ void Auditor::fire_injection(SimTime now) {
     case Violation::kCacheBitmapConservation:
       on_cache_bit_set(this, 1);  // set, never cleared, not resident
       check_cache_bitmap_conservation(now, this, /*resident=*/0);
+      break;
+    case Violation::kTokenConservation:
+      // Two clients granted overlapping write tokens on the same file — the
+      // exact double-writer hazard the protocol exists to prevent.
+      on_token_write_grant(now, /*file=*/1, /*owner=*/1, 0, 4096);
+      on_token_write_grant(now, /*file=*/1, /*owner=*/2, 1024, 2048);
       break;
   }
 }

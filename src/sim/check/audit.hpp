@@ -60,6 +60,7 @@ enum class Violation : std::uint8_t {
   kFaultConservation,   // observed != retried-ok + reconstructed + terminal
   kCoalesceConservation,  // coalesced RPC delivered != the union of its extents
   kCacheBitmapConservation,  // tier bits set != cleared + currently resident
+  kTokenConservation,  // overlapping write tokens, or a revoked token not fully flushed
 };
 
 const char* to_string(Violation v) noexcept;
@@ -162,6 +163,27 @@ class Auditor {
   void check_cache_bitmap_conservation(SimTime now, const void* owner,
                                        std::uint64_t resident, bool in_destructor = false);
 
+  // --- byte-range write-token conservation ---
+  //
+  // The TokenWrite protocol's safety net: every byte of every file is
+  // covered by AT MOST one client's write token at any instant, and a
+  // revoked token may only be acked after every dirty byte it covered has
+  // been flushed. The token manager reports grants/releases as it mutates
+  // its grant table; the client reports its residual dirty bytes at each
+  // revocation ack. A mismatch in either direction is a coherence bug that
+  // would silently corrupt data in a real system.
+  void on_token_write_grant(SimTime now, std::uint64_t file, std::uint64_t owner,
+                            std::uint64_t begin, std::uint64_t end);
+  void on_token_write_release(SimTime now, std::uint64_t file, std::uint64_t owner,
+                              std::uint64_t begin, std::uint64_t end);
+  /// Revocation ack: `unflushed` dirty bytes still buffered inside the
+  /// revoked range (must be 0 — flush-before-ack).
+  void check_token_flush(SimTime now, std::uint64_t unflushed);
+  /// End-of-run balance: the ledger's total granted write bytes must equal
+  /// what the token manager says is still outstanding.
+  void check_token_conservation(SimTime now, std::uint64_t outstanding_write_bytes,
+                                bool in_destructor = false);
+
   // --- coalesced-RPC conservation ---
   //
   // A scatter-gather RPC must deliver exactly the union of its merged block
@@ -196,6 +218,12 @@ class Auditor {
     std::uint64_t cleared = 0;
   };
 
+  struct TokenGrantRec {
+    std::uint64_t owner;
+    std::uint64_t begin;
+    std::uint64_t end;
+  };
+
   void report(SimTime now, Violation kind, std::string detail, bool may_throw = true);
   void tick_injection(SimTime now);
   void fire_injection(SimTime now);
@@ -211,6 +239,10 @@ class Auditor {
   std::unordered_map<const void*, BufferLedger> buffers_;
   // ppfs-lint: allow(det-unsafe-source) lookup/erase by key only, never iterated
   std::unordered_map<const void*, CacheLedger> cache_bits_;
+  // file -> currently granted write-token ranges (grant order preserved).
+  // ppfs-lint: allow(det-unsafe-source) lookup by key only, never iterated
+  std::unordered_map<std::uint64_t, std::vector<TokenGrantRec>> token_grants_;
+  std::uint64_t token_granted_bytes_ = 0;  // running ledger total
   FaultLedger faults_;
   std::vector<ViolationRecord> violations_;
 

@@ -74,6 +74,12 @@ std::size_t StreamingQuantiles::bin_of(double x) noexcept {
 }
 
 void StreamingQuantiles::add(double x) {
+  // A non-finite sample would poison the sketch for good: sum_ += NaN makes
+  // every later mean() NaN, and NaN loses every std::min/max comparison so
+  // min_/max_ stay at their +/-infinity sentinels while n_ grows — after
+  // which min()/max() report infinities and percentile()'s clamp is handed
+  // an inverted [lo, hi]. Drop such samples instead of counting them.
+  if (!std::isfinite(x)) return;
   ++bins_[bin_of(x)];
   ++n_;
   sum_ += x;
@@ -91,7 +97,10 @@ void StreamingQuantiles::merge(const StreamingQuantiles& other) {
 }
 
 double StreamingQuantiles::percentile(double p) const {
-  if (n_ == 0) return 0.0;
+  // Zero-count sketches (never added to, or merged only with empties) have
+  // min_/max_ still at their sentinel infinities — clamping against them
+  // would return garbage, so answer 0 like mean()/min()/max() do.
+  if (n_ == 0 || !(min_ <= max_)) return 0.0;
   const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBins; ++i) {

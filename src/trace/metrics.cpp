@@ -28,8 +28,18 @@ const char* rpc_class_label(std::size_t cls) {
     case code::kRpcData: return "data";
     case code::kRpcMetadata: return "metadata";
     case code::kRpcPointer: return "pointer";
-    default: return "coalesced";
+    case code::kRpcCoalesced: return "coalesced";
+    default: return "token";
   }
+}
+
+// Span event codes are not dense (4/5 are the retry/give-up instants), so
+// the latency-class index is an explicit remap: data..coalesced keep their
+// code, kRpcToken lands in the fifth slot. -1 = not a latency class.
+int rpc_class_index(std::uint8_t event) {
+  if (event <= code::kRpcCoalesced) return static_cast<int>(event);
+  if (event == code::kRpcToken) return 4;
+  return -1;
 }
 
 std::string fmt(const char* f, double v) {
@@ -68,7 +78,7 @@ TraceMetrics compute_metrics(const std::vector<TraceRecord>& records, int bucket
   std::map<Key, double> open;
   // Per-(track, resource) per-bucket busy seconds.
   std::map<std::pair<int, std::int32_t>, std::vector<double>> busy;
-  std::array<std::vector<double>, 4> rpc_latencies;
+  std::array<std::vector<double>, 5> rpc_latencies;
 
   const double span = m.t_end > 0.0 ? m.t_end : 1.0;
   const double width = span / buckets;
@@ -101,8 +111,9 @@ TraceMetrics compute_metrics(const std::vector<TraceRecord>& records, int bucket
         open.erase(it);
         if (utilization_track(r.track)) {
           add_interval(r.track, r.resource, begin_ts, r.ts);
-        } else if (r.track == TraceTrack::kRpc && r.event < rpc_latencies.size()) {
-          rpc_latencies[r.event].push_back(r.ts - begin_ts);
+        } else if (r.track == TraceTrack::kRpc) {
+          const int cls = rpc_class_index(r.event);
+          if (cls >= 0) rpc_latencies[static_cast<std::size_t>(cls)].push_back(r.ts - begin_ts);
         }
         break;
       }

@@ -50,8 +50,9 @@ struct TraceMetrics {
   std::uint64_t kernel_dispatches = 0;
   // Utilization for the capacity-bounded tracks; indexed by TraceTrack.
   std::array<TrackUtilization, kTrackCount> utilization;
-  // RPC latency by class code (kRpcData..kRpcCoalesced).
-  std::array<LatencyStats, 4> rpc;
+  // RPC latency by class: kRpcData..kRpcCoalesced at their code values,
+  // kRpcToken in the fifth slot (codes 4/5 are the retry/give-up instants).
+  std::array<LatencyStats, 5> rpc;
   std::uint64_t rpc_retries = 0;
   std::uint64_t rpc_give_ups = 0;
   OccupancyStats occupancy;

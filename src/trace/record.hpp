@@ -69,6 +69,9 @@ inline constexpr std::uint8_t kRpcCoalesced = 3;
 // give-up (a = failures) — the post-mortem anchor for --trace-last.
 inline constexpr std::uint8_t kRpcRetry = 4;
 inline constexpr std::uint8_t kRpcGiveUp = 5;
+// kRpc span: byte-range token acquisition round trip to the token manager
+// (a = range bytes, b = file id). Mirrors RpcStats::token_rpcs 1:1.
+inline constexpr std::uint8_t kRpcToken = 6;
 // kPrefetch instants (a = offset, b = length) and the occupancy counter
 // (a = resident buffers across fds, b = resident bytes).
 inline constexpr std::uint8_t kPrefetchIssue = 0;

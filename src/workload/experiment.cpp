@@ -145,6 +145,25 @@ Task<void> reader(const WorkloadSpec& w, pfs::PfsClient& client, NodePlan plan,
 
 }  // namespace
 
+void accumulate_token_stats(ExperimentResult& res, const pfs::PfsClient& client) {
+  res.writes += client.stats().writes;
+  res.bytes_written += client.stats().bytes_written;
+  res.max_node_write_time = std::max(res.max_node_write_time, client.stats().write_time);
+  res.token_rpcs += client.rpc_stats().token_rpcs;
+  const auto& ts = client.token_stats();
+  res.token_local_grants += ts.local_grants;
+  res.token_revocations += ts.revocations;
+  res.token_invalidations += ts.invalidations;
+  res.wb_writes += ts.wb_writes;
+  res.wb_read_hits += ts.wb_read_hits;
+  res.wb_flush_ops += ts.flush_ops;
+  res.wb_flushed_bytes += ts.flushed_bytes;
+  res.wb_revocation_flushes += ts.revocation_flushes;
+  res.wb_fsync_flushes += ts.fsync_flushes;
+  res.wb_capacity_evictions += ts.capacity_evictions;
+  res.wb_peak_dirty_bytes = std::max(res.wb_peak_dirty_bytes, ts.peak_dirty_bytes);
+}
+
 ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
                                  const PostRunHook& post_run) const {
   if (w.request_size == 0) throw std::invalid_argument("Experiment: zero request size");
@@ -347,6 +366,16 @@ ExperimentResult Experiment::run(const WorkloadSpec& w, trace::TraceSink* sink,
     res.faults.terminal_errors += rpc.terminal_errors;
     res.faults.backoff_time += rpc.backoff_time;
     res.faults.recovery_wait_time += rpc.recovery_wait_time;
+    accumulate_token_stats(res, *clients[r]);
+  }
+  res.token_grants = fs.tokens().stats().grants;
+  res.token_splits = fs.tokens().stats().splits;
+  res.observed_write_bw_mbs =
+      sim::megabytes_per_second(res.bytes_written, res.max_node_write_time);
+  // Token conservation: the manager's running grant ledger must equal the
+  // write bytes still outstanding in its table once the run drains.
+  if (auto* a = sim.auditor()) {
+    a->check_token_conservation(sim.now(), fs.tokens().write_granted_bytes());
   }
   res.faults.injected_events = static_cast<std::uint64_t>(injector.injected());
   res.mesh_segmented_messages = machine.mesh().segmented_messages();

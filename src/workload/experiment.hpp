@@ -28,6 +28,10 @@ namespace ppfs::trace {
 class TraceSink;
 }
 
+namespace ppfs::pfs {
+class PfsClient;
+}
+
 namespace ppfs::workload {
 
 struct MachineSpec {
@@ -105,6 +109,28 @@ struct ExperimentResult {
   double cache_warm_hit_ratio = 0;
   sim::SimTime cache_recovery_time = 0;  // summed journal-replay time
 
+  /// TokenWrite counters summed across clients (all zero unless
+  /// PfsParams::write_tokens is on): the write path's activity, the token
+  /// protocol traffic, and the write-back cache behavior.
+  std::uint64_t writes = 0;
+  ByteCount bytes_written = 0;
+  sim::SimTime max_node_write_time = 0;  // slowest node's total write-call time
+  double observed_write_bw_mbs = 0;      // bytes_written / max_node_write_time
+  std::uint64_t token_rpcs = 0;          // acquisitions that reached the manager
+  std::uint64_t token_local_grants = 0;  // acquisitions served by the token cache
+  std::uint64_t token_grants = 0;        // grants the manager installed
+  std::uint64_t token_revocations = 0;   // conflicting ranges revoked
+  std::uint64_t token_splits = 0;        // partial-overlap grant splits
+  std::uint64_t token_invalidations = 0; // client held-ranges dropped/trimmed
+  std::uint64_t wb_writes = 0;           // writes buffered dirty (no data RPC)
+  std::uint64_t wb_read_hits = 0;        // reads served wholly from dirty data
+  std::uint64_t wb_flush_ops = 0;
+  ByteCount wb_flushed_bytes = 0;
+  std::uint64_t wb_revocation_flushes = 0;
+  std::uint64_t wb_fsync_flushes = 0;
+  std::uint64_t wb_capacity_evictions = 0;
+  ByteCount wb_peak_dirty_bytes = 0;     // max across clients
+
   /// SimCheck determinism digest of the whole run (populate + read phase):
   /// the kernel's FNV-1a hash over every dispatched event. Two runs of the
   /// same spec must agree bit-for-bit — see ppfs_run --selfcheck.
@@ -122,6 +148,11 @@ struct ExperimentResult {
   std::uint64_t frame_arena_bytes = 0;
   double bytes_per_event = 0;
 };
+
+/// Fold one client's TokenWrite counters (token RPCs, manager traffic seen
+/// through its stats, write-back cache activity) into a result. Shared by
+/// the read-workload driver and the write workloads.
+void accumulate_token_stats(ExperimentResult& res, const pfs::PfsClient& client);
 
 /// Runs workloads on a freshly-built machine each time (fully
 /// deterministic; no state leaks between runs).

@@ -41,6 +41,8 @@ struct ClientOutcome {
   std::uint64_t completed = 0;
   std::uint64_t app_errors = 0;
   ByteCount bytes = 0;
+  std::uint64_t writes_completed = 0;
+  ByteCount bytes_written = 0;
   SimTime first_arrival = sim::kTimeInfinity;
   SimTime last_completion = 0;
   std::uint64_t backlogged = 0;
@@ -78,11 +80,22 @@ Task<void> client_proc(const OpenArrivalSpec& spec, pfs::PfsClient& client,
     }
     ++out.issued;
     out.first_arrival = std::min(out.first_arrival, arrival);
+    // Short-circuit keeps the read-only stream untouched: with
+    // write_fraction == 0 no extra uniform01() draw happens, so existing
+    // read-only digests are bit-identical.
+    const bool is_write =
+        spec.write_fraction > 0 && rng.uniform01() < spec.write_fraction;
     ByteCount got = 0;
     bool failed = false;
     try {
       co_await client.seek(fd, off);
-      got = co_await client.read(fd, scratch.subspan(0, spec.request_size));
+      if (is_write) {
+        co_await client.write(
+            fd, std::span<const std::byte>(scratch).subspan(0, spec.request_size));
+        got = spec.request_size;
+      } else {
+        got = co_await client.read(fd, scratch.subspan(0, spec.request_size));
+      }
     } catch (const fault::FaultError&) {
       failed = true;
     }
@@ -91,11 +104,16 @@ Task<void> client_proc(const OpenArrivalSpec& spec, pfs::PfsClient& client,
     out.last_completion = std::max(out.last_completion, done);
     if (failed) {
       ++out.app_errors;
+    } else if (is_write) {
+      ++out.completed;
+      ++out.writes_completed;
+      out.bytes_written += got;
     } else {
       ++out.completed;
       out.bytes += got;
     }
   }
+  if (spec.write_fraction > 0) co_await client.fsync(fd);
   client.close(fd);
 }
 
@@ -201,11 +219,33 @@ OpenArrivalResult run_open_arrival(const MachineSpec& machine,
     res.completed += o.completed;
     res.app_errors += o.app_errors;
     res.total_bytes += o.bytes;
+    res.writes_completed += o.writes_completed;
+    res.bytes_written += o.bytes_written;
     res.backlogged += o.backlogged;
     res.backlog_time += o.backlog_time;
     res.latencies.merge(o.latencies);
     t0 = std::min(t0, o.first_arrival);
     t1 = std::max(t1, o.last_completion);
+  }
+  for (const auto& c : clients) {
+    res.token_rpcs += c->rpc_stats().token_rpcs;
+    const auto& ts = c->token_stats();
+    res.token_local_grants += ts.local_grants;
+    res.token_revocations += ts.revocations;
+    res.token_invalidations += ts.invalidations;
+    res.wb_writes += ts.wb_writes;
+    res.wb_read_hits += ts.wb_read_hits;
+    res.wb_flush_ops += ts.flush_ops;
+    res.wb_flushed_bytes += ts.flushed_bytes;
+    res.wb_revocation_flushes += ts.revocation_flushes;
+    res.wb_fsync_flushes += ts.fsync_flushes;
+    res.wb_capacity_evictions += ts.capacity_evictions;
+    res.wb_peak_dirty_bytes = std::max(res.wb_peak_dirty_bytes, ts.peak_dirty_bytes);
+  }
+  res.token_grants = fs.tokens().stats().grants;
+  res.token_splits = fs.tokens().stats().splits;
+  if (auto* a = sim.auditor()) {
+    a->check_token_conservation(sim.now(), fs.tokens().write_granted_bytes());
   }
   res.sim_elapsed = t1 > t0 ? t1 - t0 : 0;
   res.wall_bw_mbs = sim::megabytes_per_second(res.total_bytes, res.sim_elapsed);

@@ -44,6 +44,11 @@ struct OpenArrivalSpec {
   std::uint64_t seed = 1;
   bool prefetch = false;
   prefetch::PrefetchConfig prefetch_cfg{};
+  /// TokenWrite mixed tenancy: fraction of requests that are writes (one
+  /// uniform draw per request). 0 keeps the workload read-only — and keeps
+  /// the per-client random streams, hence the digest, exactly as before.
+  /// Writers fsync before closing so every buffered byte lands.
+  double write_fraction = 0;
 };
 
 struct OpenArrivalResult {
@@ -55,6 +60,23 @@ struct OpenArrivalResult {
   std::uint64_t completed = 0;
   std::uint64_t app_errors = 0;
   ByteCount total_bytes = 0;
+  /// TokenWrite mixed tenancy (all zero when write_fraction == 0).
+  std::uint64_t writes_completed = 0;
+  ByteCount bytes_written = 0;
+  std::uint64_t token_rpcs = 0;
+  std::uint64_t token_local_grants = 0;
+  std::uint64_t token_grants = 0;
+  std::uint64_t token_revocations = 0;
+  std::uint64_t token_splits = 0;
+  std::uint64_t token_invalidations = 0;
+  std::uint64_t wb_writes = 0;
+  std::uint64_t wb_read_hits = 0;
+  std::uint64_t wb_flush_ops = 0;
+  ByteCount wb_flushed_bytes = 0;
+  std::uint64_t wb_revocation_flushes = 0;
+  std::uint64_t wb_fsync_flushes = 0;
+  std::uint64_t wb_capacity_evictions = 0;
+  ByteCount wb_peak_dirty_bytes = 0;
   sim::SimTime sim_elapsed = 0;  // first arrival -> last completion
   double wall_bw_mbs = 0;
   /// Arrival-to-completion latency sketch (fixed footprint).

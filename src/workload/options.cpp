@@ -102,6 +102,16 @@ prefetch::PredictorKind parse_predictor(const std::string& text) {
                      "' (mode-aware|sequential|strided|list-io|ensemble)");
 }
 
+WriteWorkloadKind parse_write_workload(const std::string& text) {
+  if (text == "checkpoint") return WriteWorkloadKind::kCheckpoint;
+  if (text == "producer-consumer" || text == "pc") {
+    return WriteWorkloadKind::kProducerConsumer;
+  }
+  if (text == "mixed") return WriteWorkloadKind::kMixed;
+  throw CliError("--write-workload", "unknown kind: '" + text +
+                                         "' (checkpoint|producer-consumer|mixed)");
+}
+
 }  // namespace
 
 sim::ByteCount parse_size(const std::string& text) { return parse_size_for("", text); }
@@ -166,6 +176,23 @@ the paper's metrics.
   --stride <n>          rounds skipped by --pattern strided  (default 4)
   --listio-extents <n>  extents per frame for --pattern listio, 1..8
                         (default 4)
+  --write-workload <k>  run a TokenWrite write workload instead of a read
+                        workload: checkpoint (N writers, own slots or
+                        --conflicting, fsync + cross-client read-back),
+                        producer-consumer (no fsync; revocation flushes are
+                        the only coherence), mixed (open-arrival tenants
+                        with a --write-fraction of writes). Honors
+                        --writers/--request/--delay/--faults/--selfcheck
+  --writers <n>         concurrent write-workload clients    (default 4)
+  --write-rounds <n>    records per writer / handoff rounds  (default 8)
+  --conflicting         checkpoint: all writers target the SAME record, so
+                        every write conflicts and serializes via revocation
+  --no-round-fsync      checkpoint: skip the per-round fsync (coherence then
+                        rides purely on revocation flushes)
+  --write-fraction <f>  mixed: fraction of requests that write (default 0.5)
+  --write-tokens        enable byte-range write tokens + client write-back
+                        caches on the mount (write workloads force this on)
+  --wb-bytes <size>     per-client write-back dirty budget   (default 1M)
   --verify              check every byte against the written pattern
   --faults <plan>       arm a fault plan at the start of the read phase.
                         ';'-separated events "kind:key=val,...":
@@ -311,6 +338,37 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         throw CliError(a, "must be <= 8");
       }
       ++i;
+    } else if (a == "--write-workload") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->kind = parse_write_workload(need_value(i, a));
+      ++i;
+    } else if (a == "--writers") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->writers = parse_count(a, need_value(i, a), 1);
+      ++i;
+    } else if (a == "--write-rounds") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->rounds =
+          static_cast<std::uint64_t>(parse_count(a, need_value(i, a), 1));
+      ++i;
+    } else if (a == "--conflicting") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->conflicting = true;
+    } else if (a == "--no-round-fsync") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->fsync_each_round = false;
+    } else if (a == "--write-fraction") {
+      if (!opt.write_workload) opt.write_workload.emplace();
+      opt.write_workload->write_fraction = parse_seconds(a, need_value(i, a));
+      if (opt.write_workload->write_fraction > 1.0) {
+        throw CliError(a, "must be in [0, 1]");
+      }
+      ++i;
+    } else if (a == "--write-tokens") {
+      opt.machine.pfs.write_tokens = true;
+    } else if (a == "--wb-bytes") {
+      opt.machine.pfs.write_back_bytes = parse_size_for(a, need_value(i, a));
+      ++i;
     } else if (a == "--verify") {
       opt.workload.verify = true;
     } else if (a == "--faults") {
@@ -338,6 +396,15 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     }
     for (int k = 0; k < width; ++k) attrs.stripe_group.push_back(k);
     opt.workload.attrs = attrs;
+  }
+  if (opt.write_workload) {
+    // The shared flags (--request/--delay/--faults and the whole machine
+    // shape) apply to write workloads too; copy them in last so flag order
+    // does not matter.
+    opt.write_workload->machine = opt.machine;
+    opt.write_workload->request_size = opt.workload.request_size;
+    opt.write_workload->compute_delay = opt.workload.compute_delay;
+    opt.write_workload->faults = opt.workload.faults;
   }
   return opt;
 }

@@ -11,6 +11,7 @@
 
 #include "workload/experiment.hpp"
 #include "workload/generator.hpp"
+#include "workload/write_workload.hpp"
 
 namespace ppfs::workload {
 
@@ -32,6 +33,9 @@ class CliError : public std::invalid_argument {
 struct CliOptions {
   MachineSpec machine;
   WorkloadSpec workload;
+  /// --write-workload: run a TokenWrite write workload instead of the read
+  /// workload. The spec's machine is copied from `machine` at dispatch.
+  std::optional<WriteWorkloadSpec> write_workload;
   bool show_help = false;
   /// Runs both with and without prefetching and prints the comparison.
   bool compare = false;

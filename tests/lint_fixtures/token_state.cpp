@@ -1,0 +1,50 @@
+// Fixture for the token-state rule: TokenWrite grant-table state mutated
+// outside its owning subsystem. The manager's grant table, the client's
+// cached holdings, and the SimCheck conservation ledger each have exactly
+// one legitimate writer; a mutation anywhere else bypasses the
+// flush-before-ack protocol and desynchronizes the conservation audit.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct HeldRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+// Stand-in for the real state — in the production tree these are private
+// members of TokenManager / PfsClient / SimAuditor; a helper like the ones
+// below would have reached them through a friend declaration or a leaked
+// pointer.
+struct TokenInnards {
+  std::uint64_t write_granted_bytes_ = 0;
+  std::map<std::uint64_t, std::vector<HeldRange>> held_tokens_;
+  std::map<std::uint64_t, std::vector<HeldRange>> token_grants_;
+  std::uint64_t token_granted_bytes_ = 0;
+};
+
+void steal_grant(TokenInnards& t, std::uint64_t file, HeldRange r) {
+  // VIOLATION(token-state): grant-table total bumped without a grant — the
+  // manager never installed this range and no revocation can find it.
+  t.write_granted_bytes_ += r.end - r.begin;
+  // VIOLATION(token-state): client holdings forged outside the acquire/
+  // revoke path; flush-before-ack never covers this range.
+  t.held_tokens_[file].push_back(r);
+}
+
+void cook_ledger(TokenInnards& t, std::uint64_t file) {
+  // VIOLATION(token-state): conservation ledger wiped outside the auditor —
+  // the next check_token_conservation balances against nothing.
+  t.token_grants_[file].clear();
+  // VIOLATION(token-state): plain assignment to the ledger total.
+  t.token_granted_bytes_ = 0;
+}
+
+std::uint64_t audit_view(const TokenInnards& t) {
+  // OK: reads are fine anywhere — introspection and cross-checks compare
+  // against this state without owning it.
+  if (t.token_granted_bytes_ == t.write_granted_bytes_) {
+    return t.token_granted_bytes_;
+  }
+  return t.write_granted_bytes_ + t.held_tokens_.size() + t.token_grants_.size();
+}

@@ -78,6 +78,34 @@ TEST(FdMap, SurvivesGrowthRehash) {
   for (int fd = 0; fd < 500; fd += 2) EXPECT_EQ(m.find(fd), nullptr) << fd;
 }
 
+TEST(FdMap, TombstoneHeavyGrowthKeepsPow2Masking) {
+  // Regression: rehash() masks probes with size-1, so every growth step
+  // must land on a power of two. Drive many interleaved insert/erase
+  // cycles so growth happens while tombstones dominate the load factor —
+  // with a non-pow2 slot count the probe mask skips slots and these
+  // lookups would miss live keys (or get_or_insert would spin).
+  FdMap<int> m;
+  for (int round = 0; round < 8; ++round) {
+    const int base = round * 1000;
+    for (int fd = base; fd < base + 600; ++fd) m.get_or_insert(fd) = fd;
+    for (int fd = base; fd < base + 600; fd += 3) m.erase(fd);
+  }
+  std::size_t live = 0;
+  for (int round = 0; round < 8; ++round) {
+    const int base = round * 1000;
+    for (int fd = base; fd < base + 600; ++fd) {
+      if ((fd - base) % 3 == 0) {
+        ASSERT_EQ(m.find(fd), nullptr) << fd;
+      } else {
+        ASSERT_NE(m.find(fd), nullptr) << fd;
+        EXPECT_EQ(*m.find(fd), fd);
+        ++live;
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), live);
+}
+
 TEST(FdMap, OpenCloseChurnDoesNotLeak) {
   // The StridedPredictor leak this PR fixes: size must track live fds, not
   // every fd ever seen.

@@ -276,6 +276,30 @@ TEST(CacheTier, WarmHitWindowStartsAtRecovery) {
   EXPECT_DOUBLE_EQ(f.tier.stats().warm_hit_ratio(), 0.5);
 }
 
+TEST(CacheTier, LookupsDuringReplayCountTowardWarmWindow) {
+  // Regression: recover() used to zero warm_lookups/warm_hits at its END,
+  // after awaiting the journal transfers — so every hit the tier served
+  // concurrently with replay was silently dropped from the warm window.
+  // The window must open when replay begins.
+  TierFixture f(tier_params(/*flush_interval=*/1));
+  f.generations[1] = 1;
+  f.block_counts[1] = 8;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    f.tier.insert(1, 1, b);
+    f.sim.run();
+  }
+  f.tier.note_hit(1, 0);  // pre-crash: must not leak into the warm window
+  f.tier.on_crash();
+  // Fires while recover() is still awaiting its journal transfers.
+  f.sim.call_at(f.sim.now() + 1e-9, [&f] {
+    f.tier.note_hit(1, 0);
+    f.tier.note_miss_blocks(1);
+  });
+  run_task(f.sim, f.tier.recover());
+  EXPECT_EQ(f.tier.stats().warm_lookups, 2u);
+  EXPECT_EQ(f.tier.stats().warm_hits, 1u);
+}
+
 // --- workload level ---------------------------------------------------------
 
 workload::MachineSpec tier_machine(std::uint64_t capacity = 1024) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -98,6 +99,67 @@ TEST(StreamingQuantiles, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.min(), both.min());
   EXPECT_DOUBLE_EQ(a.max(), both.max());
   EXPECT_DOUBLE_EQ(a.percentile(90), both.percentile(90));
+}
+
+TEST(StreamingQuantiles, EmptySketchAnswersZeroEverywhere) {
+  StreamingQuantiles q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.min(), 0.0);
+  EXPECT_EQ(q.max(), 0.0);
+  EXPECT_EQ(q.mean(), 0.0);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    const double v = q.percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << "p" << p;
+    EXPECT_EQ(v, 0.0) << "p" << p;
+  }
+}
+
+TEST(StreamingQuantiles, NonFiniteSamplesAreDroppedNotPoisonous) {
+  // Regression: add(NaN) used to bump n_ and poison sum_ while min_/max_
+  // stayed at their infinity sentinels (NaN loses every min/max compare),
+  // so min()/max() reported infinities and percentile() clamped against an
+  // inverted range.
+  StreamingQuantiles q;
+  q.add(std::numeric_limits<double>::quiet_NaN());
+  q.add(std::numeric_limits<double>::infinity());
+  q.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.percentile(50), 0.0);
+  EXPECT_EQ(q.min(), 0.0);
+  q.add(2e-6);
+  q.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(q.count(), 1u);
+  EXPECT_DOUBLE_EQ(q.min(), 2e-6);
+  EXPECT_DOUBLE_EQ(q.max(), 2e-6);
+  EXPECT_DOUBLE_EQ(q.mean(), 2e-6);
+  EXPECT_TRUE(std::isfinite(q.percentile(99)));
+  EXPECT_DOUBLE_EQ(q.percentile(99), 2e-6);  // clamped into [min, max]
+}
+
+TEST(StreamingQuantiles, MergeWithEmptyAndDisjointRanges) {
+  StreamingQuantiles empty, low, high;
+  for (int i = 1; i <= 10; ++i) low.add(i * 1e-6);
+  for (int i = 1; i <= 10; ++i) high.add(i * 1e-2);
+  // empty <- nonempty adopts the other's range exactly.
+  empty.merge(low);
+  EXPECT_EQ(empty.count(), 10u);
+  EXPECT_DOUBLE_EQ(empty.min(), low.min());
+  EXPECT_DOUBLE_EQ(empty.max(), low.max());
+  // nonempty <- empty is a no-op, not a range reset.
+  StreamingQuantiles none;
+  low.merge(none);
+  EXPECT_EQ(low.count(), 10u);
+  EXPECT_DOUBLE_EQ(low.min(), 1e-6);
+  // Disjoint ranges: percentiles of the merge stay finite and inside the
+  // combined observed range.
+  low.merge(high);
+  EXPECT_EQ(low.count(), 20u);
+  for (double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    const double v = low.percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << "p" << p;
+    EXPECT_GE(v, 1e-6);
+    EXPECT_LE(v, 1e-1);
+  }
 }
 
 // --- open-arrival workload ---

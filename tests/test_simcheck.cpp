@@ -26,6 +26,7 @@
 #include "sim/task.hpp"
 #include "test_util.hpp"
 #include "workload/experiment.hpp"
+#include "workload/write_workload.hpp"
 
 namespace ppfs::sim {
 namespace {
@@ -254,6 +255,73 @@ TEST(SimCheckCacheBits, TierLifecycleConserves) {
   EXPECT_EQ(sim.auditor()->count(Violation::kCacheBitmapConservation), 0u);
 }
 
+// --- write-token conservation -----------------------------------------------
+
+TEST(SimCheckTokens, OverlappingWriteGrantsDetected) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  a->on_token_write_grant(sim.now(), /*file=*/1, /*owner=*/1, 0, 4096);
+  a->on_token_write_grant(sim.now(), /*file=*/1, /*owner=*/2, 1024, 2048);
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 1u);
+}
+
+TEST(SimCheckTokens, DisjointAndCrossFileGrantsAreClean) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  a->on_token_write_grant(sim.now(), 1, 1, 0, 4096);
+  a->on_token_write_grant(sim.now(), 1, 2, 4096, 8192);  // adjacent, no overlap
+  a->on_token_write_grant(sim.now(), 2, 2, 0, 4096);     // other file
+  a->check_token_conservation(sim.now(), /*outstanding=*/12288);
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 0u);
+}
+
+TEST(SimCheckTokens, PartialReleaseSplitsLedgerRecord) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  a->on_token_write_grant(sim.now(), 1, 1, 0, 4096);
+  a->on_token_write_release(sim.now(), 1, 1, 1024, 2048);  // middle slice revoked
+  a->check_token_conservation(sim.now(), /*outstanding=*/3072);
+  // The freed middle may now go to another client without complaint.
+  a->on_token_write_grant(sim.now(), 1, 2, 1024, 2048);
+  a->check_token_conservation(sim.now(), /*outstanding=*/4096);
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 0u);
+}
+
+TEST(SimCheckTokens, ReleaseOfUngrantedRangeDetected) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  a->on_token_write_grant(sim.now(), 1, 1, 0, 1024);
+  a->on_token_write_release(sim.now(), 1, 1, 0, 2048);  // releases more than held
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 1u);
+}
+
+TEST(SimCheckTokens, UnflushedRevokeAckDetected) {
+  Simulation sim;
+  auto* a = sim.auditor();
+  a->set_fail_fast(false);
+  a->check_token_flush(sim.now(), /*unflushed=*/0);  // clean ack
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 0u);
+  a->check_token_flush(sim.now(), /*unflushed=*/512);
+  EXPECT_EQ(a->count(Violation::kTokenConservation), 1u);
+}
+
+TEST(SimCheckTokens, RealWriteWorkloadConserves) {
+  // End-to-end: a conflicting checkpoint run keeps the auditor ledger in
+  // lock-step with the token manager (run_write_workload calls
+  // check_token_conservation at collection time and throws on violation).
+  workload::WriteWorkloadSpec spec;
+  spec.kind = workload::WriteWorkloadKind::kCheckpoint;
+  spec.writers = 4;
+  spec.rounds = 3;
+  spec.conflicting = true;
+  const auto r = workload::run_write_workload(spec);
+  EXPECT_EQ(r.verify_failures, 0u);
+}
+
 // --- seeded injection: the auditor audits itself ----------------------------
 
 class SimCheckInjection : public ::testing::TestWithParam<std::uint64_t> {};
@@ -271,7 +339,8 @@ TEST_P(SimCheckInjection, EveryViolationClassIsCaught) {
                              Violation::kResumeAfterDestroy, Violation::kResourceAccounting,
                              Violation::kBufferConservation,
                              Violation::kCoalesceConservation,
-                             Violation::kCacheBitmapConservation};
+                             Violation::kCacheBitmapConservation,
+                             Violation::kTokenConservation};
   for (Violation kind : kinds) {
     Simulation sim;
     auto* a = sim.auditor();

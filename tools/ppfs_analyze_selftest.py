@@ -217,6 +217,31 @@ void f() {
              "};\n// ppfs::endhot\n}\n",
              ["hot-region-alloc"], ["per-node-state"])
 
+    # --- token-state ---
+    run_case("token-state fires on out-of-subsystem mutation", "exp/t.cpp",
+             "struct T { unsigned long write_granted_bytes_; };\n"
+             "void f(T& t) { t.write_granted_bytes_ += 8; }\n",
+             ["token-state"])
+    run_case("token-state no-fire in the owning subsystem", "src/pfs/token.cpp",
+             "struct T { unsigned long write_granted_bytes_; };\n"
+             "void f(T& t) { t.write_granted_bytes_ += 8; }\n",
+             [])
+    run_case("token-state no-fire on reads and declarations", "exp/t.cpp",
+             "struct T { unsigned long token_granted_bytes_ = 0; };\n"
+             "unsigned long f(const T& t) { return t.token_granted_bytes_ + 1; }\n"
+             "bool g(const T& t) { return t.token_granted_bytes_ == 0; }\n",
+             [])
+    run_case("token-state fires through a subscripted container", "exp/t.cpp",
+             "struct T { std::map<int, std::vector<int>> held_tokens_; };\n"
+             "void f(T& t) { t.held_tokens_[3].clear(); }\n",
+             ["token-state"])
+    run_case("token-state suppressible inline", "exp/t.cpp",
+             "struct T { unsigned long token_granted_bytes_ = 0; };\n"
+             "void f(T& t) {\n"
+             "  // ppfs-lint: allow(token-state) selftest justification\n"
+             "  t.token_granted_bytes_ = 0;\n}\n",
+             [], ["token-state"])
+
     # --- file-scope suppression ---
     run_case("allow-file suppresses whole file", "a.cpp",
              "// ppfs-lint: allow-file(co-await-temporary) selftest justification\n"

@@ -92,6 +92,19 @@ Rule catalog (ten classes):
                        traffic for nothing — the arena is contiguous,
                        cache-local, and allocation-free after reserve().
 
+  token-state          [NEW] The TokenWrite grant-table state mutated
+                       outside its owning subsystem. Each piece of token
+                       state has exactly one writer: the manager's grant
+                       table (write_granted_bytes_) in src/pfs/token.*,
+                       the client's cached holdings (held_tokens_) in
+                       src/pfs/client.*, and the SimCheck conservation
+                       ledger (token_grants_, token_granted_bytes_) in
+                       src/sim/check/audit.*. A mutation anywhere else —
+                       assignment, compound assignment, increment, or a
+                       mutating container call — bypasses the
+                       flush-before-ack protocol and the conservation
+                       audit that shadow every legitimate update.
+
 Suppressions: `// ppfs-lint: allow(<rule>[, <rule>...])` on the finding's
 line or the line above suppresses it (counted and reported separately).
 Every suppression in the production tree must carry an inline
@@ -134,6 +147,7 @@ ALL_RULES = [
     "ref-across-await",
     "hot-region-alloc",
     "per-node-state",
+    "token-state",
 ]
 
 # Task-returning names too generic to lint without type information.
@@ -1248,6 +1262,85 @@ def check_per_node_state(ctx: FileCtx, rep: Reporter) -> None:
                  f"cache-local, and allocation-free after reserve()")
 
 
+# Each token-state identifier and the path suffixes of its one legitimate
+# writer. Everything else that mutates one of these bypasses the
+# flush-before-ack protocol / conservation ledger.
+TOKEN_STATE_OWNERS = {
+    "write_granted_bytes_": ("src/pfs/token.cpp", "src/pfs/token.hpp"),
+    "held_tokens_": ("src/pfs/client.cpp", "src/pfs/client.hpp"),
+    "token_grants_": ("src/sim/check/audit.cpp", "src/sim/check/audit.hpp"),
+    "token_granted_bytes_": ("src/sim/check/audit.cpp", "src/sim/check/audit.hpp"),
+}
+
+TOKEN_MUTATING_METHODS = {
+    "push_back", "emplace_back", "emplace", "insert", "erase", "clear",
+    "pop_back", "resize", "assign", "swap",
+}
+
+
+def check_token_state(ctx: FileCtx, rep: Reporter) -> None:
+    path = str(ctx.path).replace("\\", "/")
+    toks = ctx.toks
+    n = len(toks)
+
+    def mutated_at(k: int) -> bool:
+        """True when toks[k] (the state identifier) is written, not read."""
+        # ++x / --x
+        if k >= 2 and toks[k - 1].text in ("+", "-") and \
+                toks[k - 2].text == toks[k - 1].text:
+            return True
+        j = k + 1
+        # Step over one balanced subscript: held_tokens_[file]...
+        if j < n and toks[j].text == "[":
+            depth = 0
+            while j < n:
+                if toks[j].text == "[":
+                    depth += 1
+                elif toks[j].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        if j >= n:
+            return False
+        t1 = toks[j].text
+        t2 = toks[j + 1].text if j + 1 < n else ""
+        # x = v (not x == v)
+        if t1 == "=" and t2 != "=":
+            return True
+        # x += v and friends ("<"/">"/"!" before "=" are comparisons)
+        if t1 in ("+", "-", "*", "/", "|", "&", "^", "%") and t2 == "=":
+            return True
+        # x++ / x--
+        if t1 in ("+", "-") and t2 == t1:
+            return True
+        # x.push_back(...) / x[k].erase(...)
+        if t1 in (".", "->") and t2 in TOKEN_MUTATING_METHODS:
+            return True
+        return False
+
+    for k, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        owners = TOKEN_STATE_OWNERS.get(t.text)
+        if owners is None or path.endswith(owners):
+            continue
+        # A declaration (`ByteCount write_granted_bytes_ = 0;`) is preceded
+        # by its type, not by an access path — the default initializer is
+        # not a grant-table mutation.
+        if k >= 1 and (toks[k - 1].kind == "id" or toks[k - 1].text in (">", "&", "*")):
+            continue
+        if not mutated_at(k):
+            continue
+        rep.emit(ctx, t.line, "token-state",
+                 f"token grant-table state '{t.text}' mutated outside its "
+                 f"owning subsystem ({' / '.join(owners)}); every legitimate "
+                 f"update goes through the manager's flush-before-ack protocol "
+                 f"and is shadowed by the SimCheck conservation ledger — "
+                 f"out-of-band writes desynchronize both")
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -1312,6 +1405,7 @@ def analyze(files: list):
         check_ref_across_await(ctx, rep)
         check_hot_region_alloc(ctx, rep)
         check_per_node_state(ctx, rep)
+        check_token_state(ctx, rep)
     rep.findings.sort(key=lambda e: (e["file"], e["line"], e["rule"]))
     return rep
 

@@ -43,6 +43,12 @@
 //    node-partitioned sharded scenario with 1 and --jobs workers asserting
 //    merged-digest identity, and writes BENCH_scale.json.
 //
+//  * write — runs the bench_write_scaling checkpoint scenario (TokenWrite
+//    byte-range write tokens + client write-back caches) with 1 and 8
+//    own-slot writers, gates the 1->8 aggregate write-bandwidth scaling
+//    (--min-write-scaling) plus byte-exact verification of every row, and
+//    writes BENCH_write.json.
+//
 //   $ ppfs_perf --jobs 4 --min-events-per-sec 250000
 //               --min-datapath-speedup 1.5
 //               --min-prefetch-seq-speedup 1.15
@@ -65,6 +71,7 @@
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 #include "workload/experiment.hpp"
+#include "workload/write_workload.hpp"
 
 using namespace ppfs;
 using namespace ppfs::bench;
@@ -144,6 +151,7 @@ struct Args {
   double min_prefetch_useful_ratio = 0;
   double min_scale_events_per_sec = 0;
   double max_scale_bytes_per_event = 0;
+  double min_write_scaling = 0;
   bool quick = false;
   std::string out_dir = ".";
 };
@@ -168,6 +176,8 @@ Args parse(int argc, char** argv) {
       a.min_scale_events_per_sec = std::atof(argv[++i]);
     } else if (s == "--max-scale-bytes-per-event" && i + 1 < argc) {
       a.max_scale_bytes_per_event = std::atof(argv[++i]);
+    } else if (s == "--min-write-scaling" && i + 1 < argc) {
+      a.min_write_scaling = std::atof(argv[++i]);
     } else if (s == "--quick") {
       a.quick = true;
     } else if (s == "--out-dir" && i + 1 < argc) {
@@ -180,7 +190,8 @@ Args parse(int argc, char** argv) {
                    " [--min-prefetch-pattern-speedup <x>]"
                    " [--min-prefetch-useful-ratio <x>]"
                    " [--min-scale-events-per-sec <x>]"
-                   " [--max-scale-bytes-per-event <x>] [--quick] [--out-dir <dir>]\n");
+                   " [--max-scale-bytes-per-event <x>]"
+                   " [--min-write-scaling <x>] [--quick] [--out-dir <dir>]\n");
       std::exit(2);
     }
   }
@@ -649,6 +660,68 @@ int main(int argc, char** argv) {
       .raw("rows", scale_rows.str())
       .raw("sharded", scale_sharded.str());
   write_json_file(args.out_dir + "/BENCH_scale.json", scale_doc.str());
+
+  // ---- write section ------------------------------------------------------
+  // TokenWrite checkpoint scaling: 1 vs 8 own-slot writers, the same shape
+  // as bench_write_scaling's gated rows. Simulated (not wall-clock) write
+  // bandwidth must scale with writers, and every row must verify byte-exact
+  // against the write-back/token coherence machinery.
+  {
+    using workload::WriteWorkloadKind;
+    using workload::WriteWorkloadSpec;
+    bool write_ok = true;
+    JsonArray write_rows;
+    double wbw1 = 0, wbw8 = 0;
+    for (int writers : {1, 8}) {
+      WriteWorkloadSpec spec;
+      spec.kind = WriteWorkloadKind::kCheckpoint;
+      spec.writers = writers;
+      spec.conflicting = false;
+      spec.rounds = args.quick ? 4 : 8;
+      spec.request_size = 256 * 1024;
+      spec.machine.ncompute = 8;
+      const double t0 = now_seconds();
+      const auto r = run_write_workload(spec);
+      const double dt = now_seconds() - t0;
+      if (r.verify_failures != 0) write_ok = false;
+      if (writers == 1) wbw1 = r.observed_write_bw_mbs;
+      if (writers == 8) wbw8 = r.observed_write_bw_mbs;
+      JsonObject jrow;
+      jrow.field("writers", writers)
+          .field("write_bw_mbs", r.observed_write_bw_mbs)
+          .field("bytes_written", r.bytes_written)
+          .field("token_rpcs", r.token_rpcs)
+          .field("token_local_grants", r.token_local_grants)
+          .field("token_revocations", r.token_revocations)
+          .field("wb_flush_ops", r.wb_flush_ops)
+          .field("wb_flushed_bytes", r.wb_flushed_bytes)
+          .field("events", r.events_dispatched)
+          .field("digest", fmt_digest(r.digest))
+          .field("verify_failures", r.verify_failures)
+          .field("host_seconds", dt);
+      write_rows.add(jrow);
+    }
+    const double write_scaling = wbw1 > 0 ? wbw8 / wbw1 : 0.0;
+    const bool scaling_ok =
+        args.min_write_scaling <= 0 || write_scaling >= args.min_write_scaling;
+    std::printf(
+        "write   checkpoint own-slots 1w %.0f MB/s, 8w %.0f MB/s, scaling "
+        "%.2fx (min %.2fx: %s), verify %s\n",
+        wbw1, wbw8, write_scaling, args.min_write_scaling,
+        scaling_ok ? "pass" : "FAIL", write_ok ? "pass" : "FAIL");
+    if (!scaling_ok || !write_ok) ok = false;
+
+    JsonObject write_doc;
+    write_doc.field("bench", "write_scaling")
+        .field("build", build_flavor())
+        .field("quick", args.quick)
+        .field("min_write_scaling", args.min_write_scaling)
+        .field("gated_scaling_1_to_8", write_scaling)
+        .field("verify_ok", write_ok)
+        .field("gate_pass", scaling_ok && write_ok)
+        .raw("rows", write_rows.str());
+    write_json_file(args.out_dir + "/BENCH_write.json", write_doc.str());
+  }
 
   std::printf("ppfs_perf: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -132,6 +132,97 @@ void print_result(const char* label, const ExperimentResult& r) {
   }
 }
 
+void print_write_result(const char* label, const ExperimentResult& r) {
+  std::printf("%-16s writes=%llu written=%s reads=%llu read=%s wall=%s\n", label,
+              (unsigned long long)r.writes, fmt_bytes(r.bytes_written).c_str(),
+              (unsigned long long)r.reads, fmt_bytes(r.total_bytes).c_str(),
+              fmt_time(r.wall_elapsed).c_str());
+  if (r.max_node_write_time > 0) {
+    std::printf("  observed write B/W %7.2f MB/s  (max node write time %s)\n",
+                r.observed_write_bw_mbs, fmt_time(r.max_node_write_time).c_str());
+  }
+  std::printf("  wall-clock  B/W   %8.2f MB/s\n", r.wall_bw_mbs);
+  std::printf("  tokens: rpcs=%llu local-grants=%llu grants=%llu revocations=%llu "
+              "splits=%llu invalidations=%llu\n",
+              (unsigned long long)r.token_rpcs, (unsigned long long)r.token_local_grants,
+              (unsigned long long)r.token_grants, (unsigned long long)r.token_revocations,
+              (unsigned long long)r.token_splits,
+              (unsigned long long)r.token_invalidations);
+  std::printf("  write-back: buffered=%llu read-hits=%llu flushes=%llu "
+              "(revoke=%llu fsync=%llu evict=%llu) flushed=%s peak-dirty=%s\n",
+              (unsigned long long)r.wb_writes, (unsigned long long)r.wb_read_hits,
+              (unsigned long long)r.wb_flush_ops,
+              (unsigned long long)r.wb_revocation_flushes,
+              (unsigned long long)r.wb_fsync_flushes,
+              (unsigned long long)r.wb_capacity_evictions,
+              fmt_bytes(r.wb_flushed_bytes).c_str(),
+              fmt_bytes(r.wb_peak_dirty_bytes).c_str());
+  std::printf("  rpcs: data=%llu metadata=%llu pointer=%llu",
+              (unsigned long long)r.data_rpcs, (unsigned long long)r.metadata_rpcs,
+              (unsigned long long)r.pointer_rpcs);
+  if (r.coalesced_rpcs > 0) {
+    std::printf(" coalesced=%llu", (unsigned long long)r.coalesced_rpcs);
+  }
+  std::printf("\n");
+  std::printf("  footprint         peak-pending=%llu queue=%s arena=%s (%.2f B/event)\n",
+              (unsigned long long)r.peak_pending_events,
+              fmt_bytes(r.event_queue_bytes).c_str(),
+              fmt_bytes(r.frame_arena_bytes).c_str(), r.bytes_per_event);
+  if (r.spec.verify) {
+    std::printf("  verification: %s\n",
+                r.verify_failures == 0 ? "all bytes correct" : "FAILURES DETECTED");
+  }
+  if (!r.spec.faults.empty() || r.faults.any()) {
+    const auto& f = r.faults;
+    std::printf("  faults: injected=%llu retries=%llu down-waits=%llu timeouts=%llu "
+                "terminal=%llu app-errors=%llu\n",
+                (unsigned long long)f.injected_events, (unsigned long long)f.rpc_retries,
+                (unsigned long long)f.rpc_down_waits, (unsigned long long)f.rpc_timeouts,
+                (unsigned long long)f.terminal_errors, (unsigned long long)f.app_errors);
+  }
+}
+
+/// --selfcheck for write workloads: identical spec twice, digests must match.
+bool selfcheck_write(const WriteWorkloadSpec& spec, const char* label) {
+  const auto r1 = run_write_workload(spec);
+  const auto r2 = run_write_workload(spec);
+  const bool ok = r1.digest == r2.digest && r1.events_dispatched == r2.events_dispatched &&
+                  r1.bytes_written == r2.bytes_written && r1.reads == r2.reads &&
+                  r1.wall_elapsed == r2.wall_elapsed;
+  std::printf("%-16s digest %016llx / %016llx  events %llu / %llu : %s\n", label,
+              (unsigned long long)r1.digest, (unsigned long long)r2.digest,
+              (unsigned long long)r1.events_dispatched,
+              (unsigned long long)r2.events_dispatched, ok ? "IDENTICAL" : "DIVERGED");
+  return ok;
+}
+
+int run_write_mode(const CliOptions& opt) {
+  const WriteWorkloadSpec& spec = *opt.write_workload;
+  std::printf("write-workload: %s, %d writers, request %s, rounds %llu%s%s\n\n",
+              to_string(spec.kind), spec.writers, fmt_bytes(spec.request_size).c_str(),
+              (unsigned long long)spec.rounds,
+              spec.conflicting ? ", conflicting" : ", own slots",
+              spec.fsync_each_round ? "" : ", no round fsync");
+  if (!spec.faults.empty()) {
+    std::printf("faults:   %s\n\n", spec.faults.summary().c_str());
+  }
+  if (opt.selfcheck) {
+    const bool ok = selfcheck_write(spec, "write:");
+    std::printf("selfcheck: %s\n", ok ? "PASS" : "FAIL (nondeterminism detected)");
+    return ok ? 0 : 1;
+  }
+  const ExperimentResult r = run_write_workload(spec);
+  print_write_result("write:", r);
+  if (r.verify_failures > 0) return 1;
+  if (r.faults.terminal_errors > 0 || r.faults.app_errors > 0) {
+    std::fprintf(stderr, "fault give-up: terminal=%llu app-errors=%llu (exit 3)\n",
+                 (unsigned long long)r.faults.terminal_errors,
+                 (unsigned long long)r.faults.app_errors);
+    return 3;
+  }
+  return 0;
+}
+
 /// True when the run ended with faults the stack could NOT absorb: a retry
 /// budget exhausted or a FaultError surfacing to application code. Drives
 /// the exit status (3) so scripts and CI can gate on give-up.
@@ -262,6 +353,9 @@ int main(int argc, char** argv) {
                 opt.machine.raid.bus_bandwidth > 8e6 ? "SCSI-16" : "SCSI-8",
                 opt.machine.raid.disk.scheduler == hw::DiskSched::kElevator ? "elevator"
                                                                             : "FIFO");
+    if (opt.write_workload) {
+      return run_write_mode(opt);
+    }
     std::printf("workload: %s, request %s, file %s, delay %.3fs%s%s\n\n",
                 std::string(pfs::to_string(opt.workload.mode)).c_str(),
                 fmt_bytes(opt.workload.request_size).c_str(),
